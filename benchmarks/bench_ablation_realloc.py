@@ -1,0 +1,68 @@
+"""Ablation C: weighted-mode reallocation interval (design choice in
+Section 4.1's "determines (or updates)" behaviour, DESIGN.md).
+
+A joining entity must ramp from its parked floor to its fair share; the
+reallocation interval bounds how stale the split can be. Sweep the
+interval and measure the late joiner's throughput in the settling window
+right after it joins, plus total link saturation.
+"""
+
+from repro.harness.common import EntitySpec
+from repro.harness.report import print_experiment, render_table
+from repro.harness.scenarios import run_longlived_share
+from repro.units import format_rate, gbps
+
+BOTTLENECK = gbps(2)
+PHASE = 30e-3
+INTERVALS = (2e-3, 5e-3, 10e-3, 20e-3)
+
+
+def run_sweep():
+    results = {}
+    for interval in INTERVALS:
+        entities = [
+            EntitySpec(name="early", cc="cubic", num_flows=2, start_time=0.0),
+            EntitySpec(name="late", cc="cubic", num_flows=2, start_time=PHASE),
+        ]
+        share = run_longlived_share(
+            entities, "aq",
+            bottleneck_bps=BOTTLENECK, duration=3 * PHASE, warmup=PHASE / 2,
+            meter_interval=PHASE / 10,
+            enable_reallocation=True, reallocation_interval=interval,
+        )
+        late = share.meters["late"].mean_rate(
+            after=PHASE + 5e-3, before=2 * PHASE
+        )
+        steady_total = sum(
+            m.mean_rate(after=2 * PHASE) for m in share.meters.values()
+        )
+        results[interval] = (late, steady_total)
+    return results
+
+
+def test_ablation_realloc(once):
+    results = once(run_sweep)
+    rows = [
+        [
+            f"{interval * 1e3:.0f}ms",
+            format_rate(late),
+            f"{late / (BOTTLENECK / 2) * 100:.0f}%",
+            f"{total / BOTTLENECK * 100:.0f}%",
+        ]
+        for interval, (late, total) in results.items()
+    ]
+    print_experiment(
+        "Ablation C - weighted reallocation interval vs late-joiner ramp",
+        render_table(
+            ["interval", "late joiner (settling)", "of fair share",
+             "steady saturation"],
+            rows,
+        ),
+    )
+    # Faster reallocation gets the late joiner closer to its share during
+    # settling; steady-state saturation stays high regardless.
+    fastest = results[INTERVALS[0]][0]
+    slowest = results[INTERVALS[-1]][0]
+    assert fastest > slowest
+    for _, (late, total) in results.items():
+        assert total > 0.85 * BOTTLENECK

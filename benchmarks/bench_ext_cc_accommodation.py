@@ -1,0 +1,51 @@
+"""Extension: Section 7's claim that other CC families accommodate AQ.
+
+The paper argues TIMELY-style gradient CCs and BBR-style model-based CCs
+also work under the abstraction (AQ can provide the delay and rate
+signals they consume). Run each extension CC against DCTCP — a pairing
+that under PQ ends in starvation — and check AQ restores the even split.
+"""
+
+from repro.harness.report import print_experiment, render_table
+from repro.harness.scenarios import run_cc_pair
+from repro.units import format_rate, gbps
+
+BOTTLENECK = gbps(2)
+DURATION = 70e-3
+WARMUP = 30e-3
+PAIRS = [("timely", "dctcp"), ("bbr", "dctcp"), ("timely", "cubic")]
+
+
+def run_grid():
+    results = {}
+    for pair in PAIRS:
+        for approach in ("pq", "aq"):
+            results[(pair, approach)] = run_cc_pair(
+                pair[0], 5, pair[1], 5, approach,
+                bottleneck_bps=BOTTLENECK, duration=DURATION, warmup=WARMUP,
+            )
+    return results
+
+
+def test_ext_cc_accommodation(once):
+    results = once(run_grid)
+    rows = []
+    for pair in PAIRS:
+        pq = results[(pair, "pq")]
+        aq = results[(pair, "aq")]
+        rows.append(
+            [
+                f"{pair[0]} + {pair[1]}",
+                f"{format_rate(pq.rates_bps['A'])} + {format_rate(pq.rates_bps['B'])}",
+                f"{format_rate(aq.rates_bps['A'])} + {format_rate(aq.rates_bps['B'])}",
+                f"{aq.ratio('A', 'B'):.2f}",
+            ]
+        )
+    print_experiment(
+        "Extension (paper Sec 7) - TIMELY/BBR accommodate the AQ abstraction",
+        render_table(["pairing", "PQ", "AQ", "AQ min/max"], rows),
+    )
+    for pair in PAIRS:
+        aq = results[(pair, "aq")]
+        assert aq.ratio("A", "B") > 0.7, f"AQ split broke for {pair}"
+        assert aq.utilization > 0.8, f"AQ under-utilized for {pair}"

@@ -1,0 +1,54 @@
+"""Figure 1: traffic interference between CC algorithms sharing one
+physical queue.
+
+Paper result (10 Gbps dumbbell, 10 flows per CC): DCTCP grabs 8.7 Gbps vs
+CUBIC's 0.7 Gbps; Swift falls below 0.2 Gbps against everything. The
+benchmark reproduces the pairwise matrix at 1/5 scale (2 Gbps) — the
+*shares* are the result, and they are scale-free.
+"""
+
+from repro.harness.report import print_experiment, render_table
+from repro.harness.scenarios import run_cc_pair
+from repro.units import format_rate, gbps
+
+BOTTLENECK = gbps(2)
+DURATION = 60e-3
+WARMUP = 25e-3
+PAIRS = [
+    ("cubic", "newreno"),
+    ("cubic", "dctcp"),
+    ("newreno", "dctcp"),
+    ("cubic", "swift"),
+    ("dctcp", "swift"),
+    ("newreno", "swift"),
+]
+
+
+def run_matrix():
+    rows = []
+    for cc_a, cc_b in PAIRS:
+        result = run_cc_pair(
+            cc_a, 10, cc_b, 10, "pq",
+            bottleneck_bps=BOTTLENECK, duration=DURATION, warmup=WARMUP,
+        )
+        rows.append(
+            [
+                f"10 {cc_a} + 10 {cc_b}",
+                format_rate(result.rates_bps["A"]),
+                format_rate(result.rates_bps["B"]),
+                f"{result.ratio('A', 'B'):.2f}",
+            ]
+        )
+    return rows
+
+
+def test_fig01_cc_interference(once):
+    rows = once(run_matrix)
+    print_experiment(
+        "Figure 1 - CC interference in a shared physical queue "
+        f"(scaled: {format_rate(BOTTLENECK)} bottleneck)",
+        render_table(["pairing (PQ)", "A", "B", "min/max ratio"], rows),
+    )
+    # The paper's headline: mixed-CC pairs cannot share fairly under PQ.
+    mixed = [float(row[3]) for row in rows[1:]]
+    assert min(mixed) < 0.25, "expected severe interference for mixed CC pairs"

@@ -1,0 +1,50 @@
+"""Figure 6: normalized workload completion time of a single entity vs
+its VM count.
+
+Paper result: AQ tracks PQ (~1.0, full utilization) while PRL and DRL
+grow with the VM count — their per-VM slices waste bandwidth whenever the
+runtime demand of a VM mismatches its fixed (PRL) or 15 ms-stale (DRL)
+allocation. Scaled: 2 Gbps bottleneck, 8 MB web-search volume.
+"""
+
+from repro.harness.report import print_experiment, render_table
+from repro.harness.scenarios import run_single_entity_wct
+from repro.units import gbps
+
+BOTTLENECK = gbps(2)
+VOLUME = 8_000_000
+VM_COUNTS = (1, 2, 4, 8)
+APPROACHES = ("pq", "aq", "prl", "drl")
+
+
+def run_grid():
+    wct = {}
+    for approach in APPROACHES:
+        for num_vms in VM_COUNTS:
+            wct[(approach, num_vms)] = run_single_entity_wct(
+                num_vms, approach, VOLUME,
+                bottleneck_bps=BOTTLENECK, max_sim_time=10.0,
+            )
+    return wct
+
+
+def test_fig06_wct_vs_vms(once):
+    wct = once(run_grid)
+    rows = []
+    for approach in APPROACHES:
+        row = [approach.upper()]
+        for num_vms in VM_COUNTS:
+            normalized = wct[(approach, num_vms)] / wct[("pq", num_vms)]
+            row.append(f"{normalized:.2f}")
+        rows.append(row)
+    print_experiment(
+        "Figure 6 - workload completion time normalized to PQ, per VM count",
+        render_table(
+            ["approach"] + [f"{n} VMs" for n in VM_COUNTS], rows
+        ),
+    )
+    for num_vms in VM_COUNTS:
+        aq_norm = wct[("aq", num_vms)] / wct[("pq", num_vms)]
+        assert aq_norm < 1.15, f"AQ must track PQ (got {aq_norm:.2f} at {num_vms} VMs)"
+    # Rate-limiting baselines degrade as VMs multiply.
+    assert wct[("prl", 8)] / wct[("pq", 8)] > 1.1

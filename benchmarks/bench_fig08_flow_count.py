@@ -1,0 +1,76 @@
+"""Figure 8: bandwidth sharing vs flow count — entity A opens 1 TCP flow,
+entity B opens 1..64.
+
+Paper result: under PQ the split tracks the flow count (B starves A at
+64 flows); under AQ the split tracks the configured weights regardless of
+flow count, including the 1:2 weighted case.
+"""
+
+from repro.harness.report import print_experiment, render_table
+from repro.harness.scenarios import run_longlived_share
+from repro.harness.common import EntitySpec
+from repro.units import format_rate, gbps
+
+BOTTLENECK = gbps(2)
+DURATION = 80e-3
+WARMUP = 30e-3
+FLOW_COUNTS = (1, 4, 16, 64)
+
+
+def run_case(flows_b, weight_b, approach):
+    entities = [
+        EntitySpec(name="A", cc="cubic", num_flows=1, weight=1.0),
+        EntitySpec(name="B", cc="cubic", num_flows=flows_b, weight=weight_b),
+    ]
+    return run_longlived_share(
+        entities, approach,
+        bottleneck_bps=BOTTLENECK, duration=DURATION, warmup=WARMUP,
+    )
+
+
+def run_grid():
+    results = {}
+    for flows_b in FLOW_COUNTS:
+        for approach in ("pq", "aq"):
+            results[(approach, flows_b)] = run_case(flows_b, 1.0, approach)
+    results[("aq-1:2", 16)] = run_case(16, 2.0, "aq")
+    return results
+
+
+def test_fig08_flow_count(once):
+    results = once(run_grid)
+    rows = []
+    for flows_b in FLOW_COUNTS:
+        for approach in ("pq", "aq"):
+            r = results[(approach, flows_b)]
+            rows.append(
+                [
+                    f"1 vs {flows_b} flows",
+                    approach.upper(),
+                    format_rate(r.rates_bps["A"]),
+                    format_rate(r.rates_bps["B"]),
+                ]
+            )
+    weighted = results[("aq-1:2", 16)]
+    rows.append(
+        [
+            "weights 1:2 (16 flows)",
+            "AQ",
+            format_rate(weighted.rates_bps["A"]),
+            format_rate(weighted.rates_bps["B"]),
+        ]
+    )
+    print_experiment(
+        "Figure 8 - throughput vs flow count (equal weights unless noted)",
+        render_table(["scenario", "approach", "entity A", "entity B"], rows),
+    )
+
+    # PQ: B's share grows with its flow count and A is starved at 64.
+    pq64 = results[("pq", 64)]
+    assert pq64.rates_bps["A"] < 0.15 * BOTTLENECK
+    # AQ: the split stays ~50/50 even at 64 flows.
+    aq64 = results[("aq", 64)]
+    assert aq64.ratio("A", "B") > 0.8
+    # AQ weighted 1:2: B gets ~2x A.
+    ratio = weighted.rates_bps["B"] / weighted.rates_bps["A"]
+    assert 1.6 < ratio < 2.5

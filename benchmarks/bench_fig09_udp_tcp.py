@@ -1,0 +1,72 @@
+"""Figure 9: UDP and TCP entities sharing a bottleneck over time.
+
+Paper result: under PQ a UDP entity blasting at line rate starves every
+TCP entity (Fig 9a); under AQ with weighted allocation each of the n
+*active* entities holds ~1/n of the link (>95% total saturation), with
+reallocation following entities as they join and leave (Fig 9b).
+
+Timeline: TCP entities T1..T4 join staggered; a UDP entity joins in
+phase 4 and leaves after phase 5.
+"""
+
+from repro.harness.report import print_experiment, render_table
+from repro.harness.scenarios import run_udp_tcp_timeline
+from repro.units import gbps
+
+BOTTLENECK = gbps(2)
+PHASE = 40e-3
+ENTITIES = ("T1", "T2", "T3", "T4", "U")
+#: Entities expected active in each phase.
+ACTIVE = {
+    0: ("T1",),
+    1: ("T1", "T2"),
+    2: ("T1", "T2", "T3"),
+    3: ("T1", "T2", "T3", "T4"),
+    4: ("T1", "T2", "T3", "T4", "U"),
+    5: ("T1", "T2", "T3", "T4", "U"),
+    6: ("T1", "T2", "T3", "T4"),
+}
+
+
+def run_both():
+    return {
+        approach: run_udp_tcp_timeline(
+            approach, bottleneck_bps=BOTTLENECK, phase=PHASE
+        )
+        for approach in ("pq", "aq")
+    }
+
+
+def test_fig09_udp_tcp(once):
+    results = once(run_both)
+    for approach, result in results.items():
+        rows = []
+        for k in range(7):
+            window = result.rates_in_window[f"phase{k}"]
+            rows.append(
+                [f"phase {k} ({len(ACTIVE[k])} active)"]
+                + [f"{window[e] / BOTTLENECK:.2f}" for e in ENTITIES]
+            )
+        print_experiment(
+            f"Figure 9 ({approach.upper()}) - per-entity share of the link "
+            "per phase",
+            render_table(["phase"] + list(ENTITIES), rows),
+        )
+
+    # PQ: once UDP joins, it grabs nearly everything.
+    pq_phase5 = results["pq"].rates_in_window["phase5"]
+    tcp_total = sum(pq_phase5[e] for e in ("T1", "T2", "T3", "T4"))
+    assert pq_phase5["U"] > 0.75 * BOTTLENECK
+    assert tcp_total < 0.2 * BOTTLENECK
+
+    # AQ: each active entity holds ~1/n; total saturation >= 90%.
+    for k, active in ACTIVE.items():
+        window = results["aq"].rates_in_window[f"phase{k}"]
+        expected = BOTTLENECK / len(active)
+        for entity in active:
+            assert window[entity] > 0.5 * expected, (
+                f"phase {k}: {entity} got {window[entity] / 1e9:.2f}G, "
+                f"expected ~{expected / 1e9:.2f}G"
+            )
+    last = results["aq"].rates_in_window["phase6"]
+    assert sum(last.values()) > 0.9 * BOTTLENECK

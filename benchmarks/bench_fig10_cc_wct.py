@@ -1,0 +1,56 @@
+"""Figure 10: entity fairness and total completion time when two 4-VM
+entities with *different CC algorithms* run equal web-search volumes.
+
+Paper result: (a) fairness ~1 for AQ/PRL/DRL, ~0.6 for PQ (the
+aggressive CC finishes first); (b) total completion time of AQ matches PQ
+(full utilization) while PRL and DRL take significantly longer.
+"""
+
+from repro.harness.report import print_experiment, render_table
+from repro.harness.scenarios import run_cc_pair_wct
+from repro.units import gbps
+
+BOTTLENECK = gbps(2)
+VOLUME = 6_000_000
+PAIRS = [("cubic", "dctcp"), ("newreno", "dctcp"), ("cubic", "swift")]
+APPROACHES = ("pq", "aq", "prl", "drl")
+
+
+def run_grid():
+    results = {}
+    for pair in PAIRS:
+        for approach in APPROACHES:
+            results[(pair, approach)] = run_cc_pair_wct(
+                pair[0], pair[1], approach, VOLUME,
+                num_vms=4, bottleneck_bps=BOTTLENECK, max_sim_time=10.0,
+            )
+    return results
+
+
+def test_fig10_cc_wct(once):
+    results = once(run_grid)
+    fairness_rows, total_rows = [], []
+    for pair in PAIRS:
+        label = f"{pair[0]}+{pair[1]}"
+        fairness_rows.append(
+            [label]
+            + [f"{results[(pair, a)].fairness():.2f}" for a in APPROACHES]
+        )
+        total_rows.append(
+            [label]
+            + [f"{results[(pair, a)].total_wct * 1e3:.1f}ms" for a in APPROACHES]
+        )
+    header = ["CC pair"] + [a.upper() for a in APPROACHES]
+    print_experiment("Figure 10a - entity fairness", render_table(header, fairness_rows))
+    print_experiment(
+        "Figure 10b - total workload completion time", render_table(header, total_rows)
+    )
+
+    for pair in PAIRS:
+        aq = results[(pair, "aq")]
+        pq = results[(pair, "pq")]
+        assert aq.fairness() > 0.8, f"AQ fairness low for {pair}"
+        # AQ's total completion stays close to PQ's (full utilization).
+        assert aq.total_wct < 1.35 * pq.total_wct
+    # PQ is unfair for at least the strongly-mismatched pairs.
+    assert min(results[(p, "pq")].fairness() for p in PAIRS) < 0.75

@@ -1,0 +1,25 @@
+"""Figure 11: AQ's data-plane resource usage on a Tofino switch.
+
+Without the hardware this is the paper's reported static accounting
+reproduced from the analytic model in ``repro.core.resources`` (the
+percentages are compile-time properties of the P4 program, not runtime
+measurements — see DESIGN.md, substitutions).
+"""
+
+from repro.core.resources import tofino_usage
+from repro.harness.report import print_experiment, render_table
+
+
+def test_fig11_resources(once):
+    usage = once(tofino_usage)
+    rows = [[u.resource, f"{u.used_percent:.1f}%", u.explanation] for u in usage]
+    print_experiment(
+        "Figure 11 - switch data-plane resource usage (analytic model)",
+        render_table(["resource", "used", "consumed by"], rows),
+    )
+    by_name = {u.resource: u.used_percent for u in usage}
+    assert by_name["pipeline stages"] == 16.8
+    assert by_name["MAUs"] == 12.5
+    assert by_name["PHV size"] == 7.5
+    # Headline: every resource class stays well under 20%.
+    assert max(u.used_percent for u in usage) < 20.0

@@ -1,0 +1,33 @@
+"""Figure 12: switch memory consumption vs number of deployed AQs.
+
+Paper result: 15 bytes per AQ (Table 1's fields), so millions of
+concurrent AQs fit comfortably in a programmable switch's tens of MB of
+SRAM — the scalability half of the paper's title.
+"""
+
+from repro.core.resources import (
+    AQ_RECORD_BYTES,
+    TOFINO_SRAM_BYTES,
+    max_aqs_in_sram,
+    memory_series,
+)
+from repro.harness.report import print_experiment, render_table
+
+COUNTS = [10_000, 100_000, 500_000, 1_000_000, 2_000_000, 5_000_000]
+
+
+def test_fig12_memory(once):
+    series = once(memory_series, COUNTS)
+    rows = [
+        [f"{count:,}", f"{megabytes:.2f} MB"]
+        for count, megabytes in series.items()
+    ]
+    print_experiment(
+        "Figure 12 - switch memory vs number of concurrent AQs "
+        f"({AQ_RECORD_BYTES} B per AQ)",
+        render_table(["AQs (traffic constituents)", "memory"], rows),
+    )
+    assert AQ_RECORD_BYTES == 15
+    # One million AQs need ~14.3 MB: inside a single switch's SRAM.
+    assert series[1_000_000] < TOFINO_SRAM_BYTES / (1024 * 1024)
+    assert max_aqs_in_sram() > 1_000_000

@@ -1,0 +1,90 @@
+"""Table 2: throughput of entities with different CC settings, PQ vs AQ.
+
+Paper result (10 Gbps): under PQ, DCTCP starves drop-based CCs
+(e.g. 0.7+8.7 for CUBIC+DCTCP), everything starves Swift, and a UDP
+entity starves three TCP entities (8.9 vs 0.4 total); under AQ every row
+splits ~evenly (4.6-4.7 each; ~2.2-2.4 each in the 4-entity row).
+Scaled to 2 Gbps; shares are scale-free.
+"""
+
+from repro.harness.common import EntitySpec
+from repro.harness.report import print_experiment, render_table
+from repro.harness.scenarios import run_cc_pair, run_longlived_share
+from repro.units import format_rate, gbps
+
+BOTTLENECK = gbps(2)
+DURATION = 70e-3
+WARMUP = 25e-3
+
+PAIR_ROWS = [
+    ("5 cubic + 5 cubic", "cubic", 5, "cubic", 5),
+    ("5 cubic + 5 dctcp", "cubic", 5, "dctcp", 5),
+    ("5 newreno + 5 dctcp", "newreno", 5, "dctcp", 5),
+    ("5 illinois + 5 dctcp", "illinois", 5, "dctcp", 5),
+    ("5 cubic + 5 swift", "cubic", 5, "swift", 5),
+    ("5 dctcp + 5 swift", "dctcp", 5, "swift", 5),
+    ("10 dctcp + 5 newreno", "dctcp", 10, "newreno", 5),
+    ("10 dctcp + 5 swift", "dctcp", 10, "swift", 5),
+]
+
+
+def run_rows():
+    rows = []
+    for label, cc_a, n_a, cc_b, n_b in PAIR_ROWS:
+        pq = run_cc_pair(cc_a, n_a, cc_b, n_b, "pq",
+                         bottleneck_bps=BOTTLENECK, duration=DURATION, warmup=WARMUP)
+        aq = run_cc_pair(cc_a, n_a, cc_b, n_b, "aq",
+                         bottleneck_bps=BOTTLENECK, duration=DURATION, warmup=WARMUP)
+        rows.append((label, pq, aq))
+
+    # Final row: 1 UDP + 3 CUBIC + 3 DCTCP + 3 Swift (four entities).
+    entities = [
+        EntitySpec(name="udp", cc="udp", num_flows=1),
+        EntitySpec(name="cubic", cc="cubic", num_flows=3),
+        EntitySpec(name="dctcp", cc="dctcp", num_flows=3),
+        EntitySpec(name="swift", cc="swift", num_flows=3),
+    ]
+    pq4 = run_longlived_share(entities, "pq", bottleneck_bps=BOTTLENECK,
+                              duration=DURATION, warmup=WARMUP)
+    aq4 = run_longlived_share(entities, "aq", bottleneck_bps=BOTTLENECK,
+                              duration=DURATION, warmup=WARMUP)
+    return rows, pq4, aq4
+
+
+def _fmt_pair(result):
+    return (
+        f"{format_rate(result.rates_bps['A'])} + {format_rate(result.rates_bps['B'])}"
+    )
+
+
+def test_table2_cc_sharing(once):
+    rows, pq4, aq4 = once(run_rows)
+    table = [
+        [label, _fmt_pair(pq), _fmt_pair(aq), f"{aq.ratio('A', 'B'):.2f}"]
+        for label, pq, aq in rows
+    ]
+    four = ["udp", "cubic", "dctcp", "swift"]
+    table.append(
+        [
+            "1 udp + 3x3 tcp",
+            " + ".join(format_rate(pq4.rates_bps[e]) for e in four),
+            " + ".join(format_rate(aq4.rates_bps[e]) for e in four),
+            f"{min(aq4.rates_bps.values()) / max(aq4.rates_bps.values()):.2f}",
+        ]
+    )
+    print_experiment(
+        "Table 2 - entity throughput under different CC settings "
+        f"(scaled: {format_rate(BOTTLENECK)})",
+        render_table(["congestion control", "PQ", "AQ", "AQ min/max"], table),
+    )
+
+    for label, pq, aq in rows:
+        assert aq.ratio("A", "B") > 0.8, f"AQ must split ~evenly for {label}"
+        assert aq.utilization > 0.8, f"AQ must keep the link busy for {label}"
+    mixed = [r for r in rows if r[0] != "5 cubic + 5 cubic"]
+    assert any(pq.ratio("A", "B") < 0.25 for _, pq, _ in mixed)
+    # Four-entity row: UDP starves TCP under PQ, AQ splits ~1/4 each.
+    tcp_total_pq = sum(pq4.rates_bps[e] for e in ("cubic", "dctcp", "swift"))
+    assert pq4.rates_bps["udp"] > 0.7 * BOTTLENECK
+    assert tcp_total_pq < 0.3 * BOTTLENECK
+    assert min(aq4.rates_bps.values()) > 0.15 * BOTTLENECK

@@ -1,0 +1,66 @@
+"""Table 3: bi-directional bandwidth guarantee for a VM.
+
+Paper result (25G links, 5G/5G profile for VM A, B+C+D all sending to A):
+
+  ideal  5G out / 5G in
+  PQ     ~23G both (nothing limits the rates until link congestion)
+  PRL    out ~5G, in ~15G (3 senders x 5G violates the inbound profile)
+  DRL    both can dip below 5G (adjustment lag vs shifting demand)
+  AQ     both ~5G (ingress + egress AQ pair)
+
+Scaled to 2.5G links / 0.5G profile; the ratios to the profile carry.
+"""
+
+from repro.harness.report import print_experiment, rate_range_str, render_table
+from repro.harness.scenarios import run_vm_profile
+from repro.units import format_rate, gbps
+
+LINK = gbps(2.5)
+PROFILE = gbps(0.5)
+DURATION = 0.15
+APPROACHES = ("pq", "prl", "drl", "aq")
+
+
+def run_all():
+    return {
+        approach: run_vm_profile(
+            approach, link_rate_bps=LINK, profile_rate_bps=PROFILE,
+            duration=DURATION,
+        )
+        for approach in APPROACHES
+    }
+
+
+def test_table3_vm_profile(once):
+    results = once(run_all)
+    rows = [["ideal", format_rate(PROFILE), format_rate(PROFILE)]]
+    for approach in APPROACHES:
+        r = results[approach]
+        rows.append(
+            [
+                approach.upper(),
+                rate_range_str(r.outbound_range_bps),
+                rate_range_str(r.inbound_range_bps),
+            ]
+        )
+    print_experiment(
+        "Table 3 - VM A outbound/inbound rate ranges "
+        f"(scaled: {format_rate(LINK)} links, {format_rate(PROFILE)} profile)",
+        render_table(["approach", "outbound", "inbound"], rows),
+    )
+
+    # PQ: both directions blow far past the profile.
+    pq = results["pq"]
+    assert pq.outbound_mean_bps > 2 * PROFILE
+    assert pq.inbound_mean_bps > 2 * PROFILE
+    # PRL: outbound held, inbound ~3x the profile.
+    prl = results["prl"]
+    assert prl.outbound_mean_bps < 1.2 * PROFILE
+    assert prl.inbound_mean_bps > 2.4 * PROFILE
+    # AQ: both directions within ~25% of the profile.
+    aq = results["aq"]
+    assert 0.75 * PROFILE < aq.outbound_mean_bps < 1.25 * PROFILE
+    assert 0.75 * PROFILE < aq.inbound_mean_bps < 1.25 * PROFILE
+    # DRL: enforces the profile approximately (within ~30%).
+    drl = results["drl"]
+    assert drl.inbound_mean_bps < 1.3 * PROFILE

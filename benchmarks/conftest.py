@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs a scaled-down version of a paper experiment
+(rates /4 to /10, durations in the tens of milliseconds — see
+EXPERIMENTS.md for the scale of record) and prints the same rows/series
+the paper reports. ``pytest benchmarks/ --benchmark-only`` regenerates
+everything; each scenario is executed once per benchmark round via
+``benchmark.pedantic``.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result.
+
+    Packet-level scenario runs are seconds long and deterministic, so one
+    round is both sufficient and necessary to keep the suite's wall time
+    sane.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""CC coexistence: make DCTCP, CUBIC and Swift share a link gracefully.
+
+The paper's Section 2.2 problem: different congestion-control algorithms
+react so differently to shared-queue congestion that one starves the
+others (DCTCP crushes CUBIC; everything crushes Swift). An AQ per CC
+aggregate gives each algorithm its *own* feedback — loss for CUBIC, ECN
+from its own A-Gap for DCTCP, virtual queuing delay for Swift — so all
+three coexist at their allocated shares.
+
+Run:
+    python examples/cc_coexistence.py
+"""
+
+from repro import AQ, PQ, EntitySpec, run_longlived_share
+from repro.harness.report import render_table
+from repro.units import format_rate, gbps
+
+BOTTLENECK = gbps(10)
+
+
+def main() -> None:
+    entities = [
+        EntitySpec(name="dctcp-apps", cc="dctcp", num_flows=5),
+        EntitySpec(name="cubic-apps", cc="cubic", num_flows=5),
+        EntitySpec(name="swift-apps", cc="swift", num_flows=5),
+    ]
+
+    rows = []
+    for approach in (PQ, AQ):
+        result = run_longlived_share(
+            entities,
+            approach=approach,
+            bottleneck_bps=BOTTLENECK,
+            duration=80e-3,
+            warmup=30e-3,
+        )
+        rows.append(
+            [approach.upper()]
+            + [format_rate(result.rates_bps[e.name]) for e in entities]
+        )
+
+    print(render_table(["approach"] + [e.name for e in entities], rows))
+    print(
+        "\nUnder PQ the three algorithms cannot share (Figure 1 of the"
+        "\npaper); under AQ each holds ~1/3 of the bottleneck."
+    )
+
+
+if __name__ == "__main__":
+    main()

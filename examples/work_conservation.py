@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Work conservation extension (paper Section 6).
+
+Strict AQ guarantees are non-work-conserving: a tenant allocated 25% of
+the link stays at 25% even when everyone else is idle. The paper sketches
+a bypass — skip AQ enforcement while the physical queue is empty — so an
+entity can opportunistically exceed its allocation on an idle fabric but
+is pinned back the moment contention (queue build-up) appears.
+
+This example deploys one CUBIC entity with a 2.5 Gbps allocation on a
+10 Gbps link and compares strict AQ against the work-conserving gate,
+with and without a competing entity.
+
+Run:
+    python examples/work_conservation.py
+"""
+
+from repro import AqController, AqRequest, EntitySpec, TcpConnection, drop_policy
+from repro.cc.registry import make_cc
+from repro.core.workconserving import WorkConservingGate
+from repro.harness.common import queue_limit_bytes
+from repro.harness.report import render_table
+from repro.stats.meters import ThroughputMeter
+from repro.topology.dumbbell import Dumbbell, DumbbellConfig
+from repro.units import format_rate, gbps
+
+CAPACITY = gbps(10)
+ALLOCATED = gbps(2.5)
+DURATION = 60e-3
+WARMUP = 20e-3
+
+
+def run(work_conserving: bool, with_competitor: bool) -> float:
+    dumbbell = Dumbbell(
+        DumbbellConfig(num_left=2, num_right=2, bottleneck_rate_bps=CAPACITY)
+    )
+    network = dumbbell.network
+    controller = AqController(network)
+    controller.register_resource("bottleneck", CAPACITY)
+    grant = controller.request(
+        AqRequest(
+            entity="tenant",
+            switch=Dumbbell.LEFT_SWITCH,
+            position="ingress",
+            absolute_rate_bps=ALLOCATED,
+            share_group="bottleneck",
+            policy=drop_policy(),
+            limit_bytes=queue_limit_bytes(),
+        )
+    )
+    if work_conserving:
+        WorkConservingGate(
+            dumbbell.bottleneck_switch,
+            controller.pipeline(Dumbbell.LEFT_SWITCH),
+            watched_port=Dumbbell.RIGHT_SWITCH,
+        )
+
+    meter = ThroughputMeter(network.sim, DURATION / 40)
+    for _ in range(4):
+        TcpConnection(
+            network, "h-l0", "h-r0", make_cc("cubic"),
+            aq_ingress_id=grant.aq_id, on_deliver=meter.add,
+        )
+    if with_competitor:
+        for _ in range(4):
+            TcpConnection(network, "h-l1", "h-r1", make_cc("cubic"))
+
+    network.run(until=DURATION)
+    return meter.mean_rate(after=WARMUP)
+
+
+def main() -> None:
+    rows = []
+    for work_conserving in (False, True):
+        for with_competitor in (False, True):
+            rate = run(work_conserving, with_competitor)
+            rows.append(
+                [
+                    "gated (work-conserving)" if work_conserving else "strict AQ",
+                    "busy fabric" if with_competitor else "idle fabric",
+                    format_rate(rate),
+                ]
+            )
+    print(render_table(["mode", "fabric", "tenant throughput"], rows))
+    print(
+        "\nStrict AQ pins the tenant at its 2.5 Gbps allocation even on an"
+        "\nidle fabric; the Section 6 gate lets it grab spare bandwidth while"
+        "\nstill yielding when the physical queue builds up."
+    )
+
+
+if __name__ == "__main__":
+    main()

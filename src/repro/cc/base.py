@@ -1,0 +1,98 @@
+"""Congestion-control interface.
+
+A CC module owns a congestion window (``cwnd``, in packets, possibly
+fractional) and reacts to transport events. The transport passes an
+:class:`AckContext` on every cumulative ACK so each algorithm can pick the
+signal it cares about: loss events (drop-based), the ECN echo (ECN-based),
+or the delay sample (delay-based). Under AQ, the delay sample is the
+*virtual queuing delay* echoed back by the receiver (Section 3.3.2);
+under PQ it is measured RTT inflation over the observed base RTT.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+#: CC families, as the paper classifies feedback types (Section 3.3.2).
+DROP_BASED = "drop"
+ECN_BASED = "ecn"
+DELAY_BASED = "delay"
+
+#: Initial congestion window in packets (RFC 6928 flavor).
+INITIAL_CWND = 10.0
+
+#: Floor for the congestion window; Swift-style CCs may pace below one
+#: packet per RTT, so the floor is well under 1.
+MIN_CWND = 0.0625
+
+
+@dataclass
+class AckContext:
+    """Everything a CC may want to know about one cumulative ACK."""
+
+    now: float
+    acked_packets: int
+    acked_bytes: int
+    rtt_sample: float  # <= 0 when no valid sample (Karn's rule)
+    base_rtt: float  # min RTT observed so far (propagation estimate)
+    ece: bool  # ECN echo on this ACK
+    virtual_delay: float  # AQ-accumulated virtual queuing delay echo
+    snd_una: int  # cumulative ack point after this ACK
+    flightsize_packets: int
+
+
+class CongestionControl(ABC):
+    """Base class for all congestion-control algorithms."""
+
+    #: One of DROP_BASED / ECN_BASED / DELAY_BASED; the AQ controller uses
+    #: this to choose the feedback policy for the entity's AQ.
+    kind: str = DROP_BASED
+
+    #: Whether the transport should set the ECT codepoint on data packets.
+    ecn_capable: bool = False
+
+    def __init__(self) -> None:
+        self.cwnd: float = INITIAL_CWND
+        self.ssthresh: float = float("inf")
+
+    # -- events ------------------------------------------------------------------
+
+    @abstractmethod
+    def on_ack(self, ctx: AckContext) -> None:
+        """New data was cumulatively acknowledged."""
+
+    def on_packet_loss(self, now: float) -> None:
+        """A loss event (triple-dup-ACK fast retransmit), once per window."""
+
+    def on_rto(self, now: float) -> None:
+        """Retransmission timeout: collapse to one packet by default."""
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _clamp(self) -> None:
+        if self.cwnd < MIN_CWND:
+            self.cwnd = MIN_CWND
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.lower()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} cwnd={self.cwnd:.2f}>"
+
+
+class AimdCongestionControl(CongestionControl):
+    """Shared slow-start / congestion-avoidance growth used by the Reno
+    family (NewReno, DCTCP's growth side, Illinois' alpha-scaled growth)."""
+
+    def _grow(self, acked_packets: int, alpha: float = 1.0) -> None:
+        """Grow ``cwnd`` for ``acked_packets`` newly acked packets."""
+        for _ in range(acked_packets):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0  # slow start
+            else:
+                self.cwnd += alpha / self.cwnd  # congestion avoidance
+        self._clamp()

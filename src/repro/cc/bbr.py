@@ -1,0 +1,92 @@
+"""BBR-flavoured model-based congestion control, simplified.
+
+BBR (Cardwell et al., 2016) builds an explicit model of the path — the
+bottleneck bandwidth (windowed-max delivery rate) and the round-trip
+propagation time (windowed-min RTT) — and sets its window to a small
+multiple of the estimated BDP instead of reacting to loss or marks.
+
+This implementation keeps the model side (max-bandwidth and min-RTT
+filters, BDP-sized cwnd with a probing gain cycle) and omits BBR's
+ProbeRTT/pacing-rate machinery; it is the "arrival rate + delay" CC the
+paper's Section 7 says AQ can accommodate, since both quantities remain
+observable per entity under AQ.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from .base import AckContext, CongestionControl, DELAY_BASED
+
+#: Gain cycle approximating BBR's ProbeBW phases.
+GAIN_CYCLE = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0)
+
+
+class Bbr(CongestionControl):
+    """Model-based CC: cwnd ~= gain * estimated BDP."""
+
+    # BBR consumes delay (RTT) and delivery-rate samples; classified with
+    # the delay family for AQ feedback purposes.
+    kind = DELAY_BASED
+
+    #: Length of the max-bandwidth filter window, in RTT-ish samples.
+    BW_WINDOW = 32
+    #: Steady cwnd gain over the estimated BDP.
+    CWND_GAIN = 2.0
+
+    def __init__(self, mss_bytes: int = 1460) -> None:
+        super().__init__()
+        self.mss_bytes = mss_bytes
+        self._bw_samples: Deque[Tuple[int, float]] = deque(maxlen=self.BW_WINDOW)
+        self._min_rtt = float("inf")
+        self._cycle_index = 0
+        self._last_cycle_advance = 0.0
+        self.ssthresh = float("inf")
+
+    @property
+    def bottleneck_bw_bps(self) -> float:
+        """Current windowed-max delivery-rate estimate."""
+        if not self._bw_samples:
+            return 0.0
+        return max(bw for _, bw in self._bw_samples)
+
+    @property
+    def min_rtt(self) -> float:
+        return self._min_rtt
+
+    def on_ack(self, ctx: AckContext) -> None:
+        if ctx.rtt_sample > 0:
+            if ctx.rtt_sample < self._min_rtt:
+                self._min_rtt = ctx.rtt_sample
+            # Delivery-rate sample: the data in flight over the RTT it took
+            # (per-packet ACKs make acked_bytes/rtt a gross underestimate).
+            flight_bytes = (ctx.flightsize_packets + ctx.acked_packets) * self.mss_bytes
+            bw = flight_bytes * 8.0 / ctx.rtt_sample
+            self._bw_samples.append((ctx.acked_packets, bw))
+        if self._min_rtt == float("inf") or not self._bw_samples:
+            self.cwnd += ctx.acked_packets  # startup: grow like slow start
+            return
+        # Advance the gain cycle roughly once per min RTT.
+        if ctx.now - self._last_cycle_advance >= self._min_rtt:
+            self._cycle_index = (self._cycle_index + 1) % len(GAIN_CYCLE)
+            self._last_cycle_advance = ctx.now
+        gain = GAIN_CYCLE[self._cycle_index]
+        bdp_packets = (
+            self.bottleneck_bw_bps * self._min_rtt / 8.0 / self.mss_bytes
+        )
+        target = max(self.CWND_GAIN * gain * bdp_packets, 4.0)
+        # Move toward the target smoothly to avoid line-rate bursts.
+        if target > self.cwnd:
+            self.cwnd = min(target, self.cwnd + ctx.acked_packets)
+        else:
+            self.cwnd = target
+        self._clamp()
+
+    def on_packet_loss(self, now: float) -> None:
+        # BBR ignores isolated losses; the model drives the window.
+        pass
+
+    def on_rto(self, now: float) -> None:
+        self.cwnd = max(4.0, self.cwnd * 0.5)
+        self._bw_samples.clear()

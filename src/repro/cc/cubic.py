@@ -1,0 +1,77 @@
+"""TCP CUBIC (RFC 8312): loss-based, cubic window growth.
+
+Implements the cubic growth function with fast convergence and the
+TCP-friendly (Reno emulation) region. Timing uses the simulation clock
+passed through :class:`~repro.cc.base.AckContext`.
+"""
+
+from __future__ import annotations
+
+from .base import AckContext, CongestionControl, DROP_BASED, INITIAL_CWND
+
+
+class Cubic(CongestionControl):
+    """CUBIC congestion control.
+
+    Parameters follow RFC 8312: ``C = 0.4``, ``beta = 0.7``.
+    """
+
+    kind = DROP_BASED
+
+    C = 0.4
+    BETA = 0.7
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._w_max = 0.0
+        self._epoch_start = -1.0
+        self._k = 0.0
+        self._origin_point = 0.0
+        self._tcp_cwnd = 0.0  # Reno-friendly estimate
+
+    def _reset_epoch(self, now: float) -> None:
+        self._epoch_start = now
+        if self.cwnd < self._w_max:
+            self._k = ((self._w_max - self.cwnd) / self.C) ** (1.0 / 3.0)
+            self._origin_point = self._w_max
+        else:
+            self._k = 0.0
+            self._origin_point = self.cwnd
+        self._tcp_cwnd = self.cwnd
+
+    def on_ack(self, ctx: AckContext) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += ctx.acked_packets
+            return
+        if self._epoch_start < 0:
+            self._reset_epoch(ctx.now)
+        rtt = ctx.rtt_sample if ctx.rtt_sample > 0 else ctx.base_rtt
+        t = ctx.now - self._epoch_start + rtt
+        target = self._origin_point + self.C * (t - self._k) ** 3
+        # Reno-friendly region: grow at least as fast as classic AIMD.
+        self._tcp_cwnd += (
+            3.0 * (1.0 - self.BETA) / (1.0 + self.BETA) * ctx.acked_packets / self.cwnd
+        )
+        target = max(target, self._tcp_cwnd)
+        if target > self.cwnd:
+            # Spread the gap over roughly one RTT of ACKs.
+            self.cwnd += (target - self.cwnd) / self.cwnd * ctx.acked_packets
+        else:
+            self.cwnd += 0.01 * ctx.acked_packets / self.cwnd  # slow probing
+        self._clamp()
+
+    def on_packet_loss(self, now: float) -> None:
+        self._epoch_start = -1.0
+        if self.cwnd < self._w_max:
+            # Fast convergence: release bandwidth faster on consecutive losses.
+            self._w_max = self.cwnd * (1.0 + self.BETA) / 2.0
+        else:
+            self._w_max = self.cwnd
+        self.cwnd = max(self.cwnd * self.BETA, 2.0)
+        self.ssthresh = self.cwnd
+        self._clamp()
+
+    def on_rto(self, now: float) -> None:
+        super().on_rto(now)
+        self._epoch_start = -1.0
+        self._w_max = INITIAL_CWND

@@ -1,0 +1,60 @@
+"""DCTCP (Alizadeh et al., SIGCOMM 2010): ECN-fraction-proportional back-off.
+
+The receiver echoes the CE mark of every data packet; the sender estimates
+the marked fraction ``alpha`` over windows of one RTT and reduces
+``cwnd *= 1 - alpha/2`` at most once per window when marks were seen.
+Growth follows Reno. Under AQ, the marks come from the entity's own A-Gap
+crossing its virtual ECN threshold instead of the shared queue length.
+"""
+
+from __future__ import annotations
+
+from .base import AckContext, AimdCongestionControl, ECN_BASED
+
+
+class Dctcp(AimdCongestionControl):
+    """ECN-based congestion control."""
+
+    kind = ECN_BASED
+    ecn_capable = True
+
+    #: EWMA gain for the marked-fraction estimator (paper's g).
+    G = 1.0 / 16.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.alpha = 1.0  # start conservative, as the Linux implementation does
+        self._acked = 0
+        self._marked = 0
+        self._window_end = 0  # seq; one observation window per RTT of data
+        self._reduced_this_window = False
+
+    def on_ack(self, ctx: AckContext) -> None:
+        self._acked += ctx.acked_packets
+        if ctx.ece:
+            self._marked += ctx.acked_packets
+        if ctx.snd_una >= self._window_end:
+            # One RTT of data acknowledged: fold the observation into alpha.
+            if self._acked > 0:
+                fraction = self._marked / self._acked
+                self.alpha += self.G * (fraction - self.alpha)
+            self._acked = 0
+            self._marked = 0
+            self._reduced_this_window = False
+            self._window_end = ctx.snd_una + max(
+                int(self.cwnd) * ctx.acked_bytes // max(ctx.acked_packets, 1), 1
+            )
+        if ctx.ece and not self._reduced_this_window:
+            self.cwnd *= 1.0 - self.alpha / 2.0
+            if self.cwnd < 2.0:
+                self.cwnd = 2.0
+            self.ssthresh = self.cwnd
+            self._reduced_this_window = True
+        else:
+            self._grow(ctx.acked_packets)
+
+    def on_packet_loss(self, now: float) -> None:
+        # DCTCP falls back to Reno behaviour on real loss.
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = self.ssthresh
+        self._clamp()

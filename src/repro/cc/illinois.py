@@ -1,0 +1,88 @@
+"""TCP Illinois (Liu, Başar, Srikant 2006): loss-driven with delay-adapted
+AIMD coefficients.
+
+The additive-increase ``alpha`` shrinks and the multiplicative-decrease
+``beta`` grows as average queueing delay rises, concave between the
+configured extremes. Loss remains the primary back-off trigger, which is
+why the paper classifies Illinois as drop-based.
+"""
+
+from __future__ import annotations
+
+from .base import AckContext, CongestionControl, DROP_BASED
+
+
+class Illinois(CongestionControl):
+    """Loss-based CC with delay-modulated AIMD parameters."""
+
+    kind = DROP_BASED
+
+    ALPHA_MAX = 10.0
+    ALPHA_MIN = 0.3
+    BETA_MIN = 0.125
+    BETA_MAX = 0.5
+    #: Fraction of the max observed queueing delay below which alpha
+    #: saturates at ALPHA_MAX (d_1 in the paper).
+    LOW_DELAY_FRACTION = 0.01
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._alpha = 1.0
+        self._beta = self.BETA_MAX
+        self._max_queue_delay = 0.0
+        self._avg_queue_delay = 0.0
+        self._ewma_gain = 0.1
+
+    def _update_parameters(self, queue_delay: float) -> None:
+        self._avg_queue_delay += self._ewma_gain * (
+            queue_delay - self._avg_queue_delay
+        )
+        if queue_delay > self._max_queue_delay:
+            self._max_queue_delay = queue_delay
+        dm = self._max_queue_delay
+        if dm <= 0:
+            self._alpha, self._beta = self.ALPHA_MAX, self.BETA_MIN
+            return
+        da = self._avg_queue_delay
+        d1 = self.LOW_DELAY_FRACTION * dm
+        if da <= d1:
+            self._alpha = self.ALPHA_MAX
+        else:
+            # Concave decrease of alpha: kappa1 / (kappa2 + da).
+            kappa1 = (dm - d1) * self.ALPHA_MIN * self.ALPHA_MAX / (
+                self.ALPHA_MAX - self.ALPHA_MIN
+            )
+            kappa2 = kappa1 / self.ALPHA_MAX - d1
+            self._alpha = max(self.ALPHA_MIN, kappa1 / (kappa2 + da))
+        # Linear increase of beta between d2 and d3 (0.1 dm .. 0.8 dm).
+        d2, d3 = 0.1 * dm, 0.8 * dm
+        if da <= d2:
+            self._beta = self.BETA_MIN
+        elif da >= d3:
+            self._beta = self.BETA_MAX
+        else:
+            kappa3 = (self.BETA_MAX - self.BETA_MIN) / (d3 - d2)
+            self._beta = self.BETA_MIN + kappa3 * (da - d2)
+
+    def on_ack(self, ctx: AckContext) -> None:
+        if ctx.rtt_sample > 0 and ctx.base_rtt > 0:
+            self._update_parameters(max(0.0, ctx.rtt_sample - ctx.base_rtt))
+        for _ in range(ctx.acked_packets):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0
+            else:
+                self.cwnd += self._alpha / self.cwnd
+        self._clamp()
+
+    def on_packet_loss(self, now: float) -> None:
+        self.ssthresh = max(self.cwnd * (1.0 - self._beta), 2.0)
+        self.cwnd = self.ssthresh
+        self._clamp()
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @property
+    def beta(self) -> float:
+        return self._beta

@@ -1,0 +1,23 @@
+"""TCP NewReno (RFC 6582): classic AIMD, loss-driven.
+
+Slow start doubles per RTT, congestion avoidance adds one packet per RTT,
+fast retransmit halves the window.
+"""
+
+from __future__ import annotations
+
+from .base import AckContext, AimdCongestionControl, DROP_BASED
+
+
+class NewReno(AimdCongestionControl):
+    """Loss-based AIMD congestion control."""
+
+    kind = DROP_BASED
+
+    def on_ack(self, ctx: AckContext) -> None:
+        self._grow(ctx.acked_packets)
+
+    def on_packet_loss(self, now: float) -> None:
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = self.ssthresh
+        self._clamp()

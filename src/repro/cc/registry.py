@@ -1,0 +1,59 @@
+"""Name-based construction of CC algorithms.
+
+Scenario configs refer to CCs by the names the paper uses ("cubic",
+"newreno", "illinois", "dctcp", "swift"); the registry builds instances and
+exposes each algorithm's feedback family so the AQ controller can configure
+the matching feedback policy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import ConfigurationError
+from .base import CongestionControl
+from .bbr import Bbr
+from .cubic import Cubic
+from .dctcp import Dctcp
+from .illinois import Illinois
+from .newreno import NewReno
+from .swift import Swift
+from .timely import Timely
+
+_FACTORIES: Dict[str, Callable[..., CongestionControl]] = {
+    "cubic": Cubic,
+    "newreno": NewReno,
+    "illinois": Illinois,
+    "dctcp": Dctcp,
+    "swift": Swift,
+    "timely": Timely,
+    "bbr": Bbr,
+}
+
+
+def available_ccs() -> list:
+    """Names of all registered CC algorithms."""
+    return sorted(_FACTORIES)
+
+
+def register_cc(name: str, factory: Callable[..., CongestionControl]) -> None:
+    """Add a custom CC (used by tests and extensions)."""
+    key = name.lower()
+    if key in _FACTORIES:
+        raise ConfigurationError(f"CC {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def make_cc(name: str, **kwargs) -> CongestionControl:
+    """Instantiate a CC by name, forwarding keyword options."""
+    factory = _FACTORIES.get(name.lower())
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown CC {name!r}; available: {', '.join(available_ccs())}"
+        )
+    return factory(**kwargs)
+
+
+def cc_kind(name: str) -> str:
+    """Feedback family ('drop' / 'ecn' / 'delay') for a CC name."""
+    return make_cc(name).kind

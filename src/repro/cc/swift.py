@@ -1,0 +1,74 @@
+"""Swift (Kumar et al., SIGCOMM 2020), simplified: delay-targeted AIMD.
+
+Swift compares a delay sample against a target. Below target it adds
+``AI`` packets per RTT; above target it multiplicatively decreases
+proportionally to the excess, clamped by ``MAX_MDF``, at most once per RTT.
+The window may drop below one packet, in which case the transport paces
+(one packet per ``rtt / cwnd``).
+
+Delay source:
+
+* under a physical queue the sample is measured RTT minus the observed
+  base RTT (fabric queuing delay),
+* under AQ the sample is the entity's own *virtual queuing delay*
+  accumulated hop by hop and echoed on ACKs (paper Section 3.3.2) —
+  pass ``use_virtual_delay=True``.
+"""
+
+from __future__ import annotations
+
+from .base import AckContext, CongestionControl, DELAY_BASED, MIN_CWND
+
+
+class Swift(CongestionControl):
+    """Delay-based congestion control."""
+
+    kind = DELAY_BASED
+
+    #: Additive increase in packets per RTT.
+    AI = 1.0
+    #: Multiplicative-decrease aggressiveness.
+    BETA = 0.8
+    #: Maximum fractional decrease applied per congestion event.
+    MAX_MDF = 0.5
+
+    def __init__(self, target_delay: float = 50e-6, use_virtual_delay: bool = False):
+        super().__init__()
+        if target_delay <= 0:
+            raise ValueError(f"target delay must be positive, got {target_delay}")
+        self.target_delay = target_delay
+        self.use_virtual_delay = use_virtual_delay
+        self._last_decrease = -1.0
+        self.ssthresh = float("inf")  # Swift has no slow-start phase here
+
+    def _delay_sample(self, ctx: AckContext) -> float:
+        if self.use_virtual_delay:
+            return ctx.virtual_delay
+        if ctx.rtt_sample <= 0 or ctx.base_rtt <= 0:
+            return -1.0
+        return max(0.0, ctx.rtt_sample - ctx.base_rtt)
+
+    def on_ack(self, ctx: AckContext) -> None:
+        delay = self._delay_sample(ctx)
+        if delay < 0:
+            return
+        if delay <= self.target_delay:
+            if self.cwnd >= 1.0:
+                self.cwnd += self.AI * ctx.acked_packets / self.cwnd
+            else:
+                self.cwnd += self.AI * ctx.acked_packets * self.cwnd
+        else:
+            rtt = ctx.rtt_sample if ctx.rtt_sample > 0 else ctx.base_rtt
+            if ctx.now - self._last_decrease >= rtt:
+                excess = (delay - self.target_delay) / delay
+                factor = max(1.0 - self.BETA * excess, 1.0 - self.MAX_MDF)
+                self.cwnd *= factor
+                self._last_decrease = ctx.now
+        self._clamp()
+
+    def on_packet_loss(self, now: float) -> None:
+        self.cwnd *= 1.0 - self.MAX_MDF
+        self._clamp()
+
+    def on_rto(self, now: float) -> None:
+        self.cwnd = max(MIN_CWND, self.cwnd * (1.0 - self.MAX_MDF))

@@ -1,0 +1,83 @@
+"""TIMELY (Mittal et al., SIGCOMM 2015), simplified: RTT-gradient CC.
+
+TIMELY adjusts the sending window based on the *gradient* of the RTT
+signal, normalized by a minimum RTT: rising delay means queues are
+building somewhere, falling delay means they are draining. Between low
+and high delay thresholds, the gradient drives additive increase or
+gradient-proportional multiplicative decrease; beyond the thresholds
+hard increase/decrease apply.
+
+The paper lists TIMELY with Swift among the delay-based CCs AQ supports:
+under AQ, the delay sample is the entity's own accumulated virtual
+queuing delay (``use_virtual_delay=True``), so TIMELY reacts only to its
+own allocation discrepancy.
+"""
+
+from __future__ import annotations
+
+from .base import AckContext, CongestionControl, DELAY_BASED
+
+
+class Timely(CongestionControl):
+    """Delay-gradient congestion control."""
+
+    kind = DELAY_BASED
+
+    #: Additive increase per RTT, packets.
+    AI = 1.0
+    #: Multiplicative decrease factor for the gradient regime.
+    BETA = 0.8
+    #: EWMA gain for the RTT-difference filter.
+    ALPHA = 0.3
+
+    def __init__(
+        self,
+        t_low: float = 50e-6,
+        t_high: float = 500e-6,
+        min_rtt: float = 20e-6,
+        use_virtual_delay: bool = False,
+    ) -> None:
+        super().__init__()
+        if not 0 < t_low < t_high:
+            raise ValueError(
+                f"thresholds must satisfy 0 < t_low < t_high, got {t_low}, {t_high}"
+            )
+        self.t_low = t_low
+        self.t_high = t_high
+        self.min_rtt = min_rtt
+        self.use_virtual_delay = use_virtual_delay
+        self._prev_delay = -1.0
+        self._gradient = 0.0
+        self.ssthresh = float("inf")
+
+    def _delay_sample(self, ctx: AckContext) -> float:
+        if self.use_virtual_delay:
+            return ctx.virtual_delay
+        if ctx.rtt_sample <= 0 or ctx.base_rtt <= 0:
+            return -1.0
+        return max(0.0, ctx.rtt_sample - ctx.base_rtt)
+
+    def on_ack(self, ctx: AckContext) -> None:
+        delay = self._delay_sample(ctx)
+        if delay < 0:
+            return
+        if self._prev_delay < 0:
+            self._prev_delay = delay
+            return
+        diff = delay - self._prev_delay
+        self._prev_delay = delay
+        self._gradient += self.ALPHA * (diff / self.min_rtt - self._gradient)
+
+        if delay < self.t_low:
+            self.cwnd += self.AI * ctx.acked_packets / max(self.cwnd, 1.0)
+        elif delay > self.t_high:
+            self.cwnd *= 1.0 - self.BETA * (1.0 - self.t_high / delay)
+        elif self._gradient <= 0:
+            self.cwnd += self.AI * ctx.acked_packets / max(self.cwnd, 1.0)
+        else:
+            self.cwnd *= 1.0 - self.BETA * min(self._gradient, 1.0) * 0.1
+        self._clamp()
+
+    def on_packet_loss(self, now: float) -> None:
+        self.cwnd *= 0.5
+        self._clamp()

@@ -1,0 +1,347 @@
+"""Command-line interface: run any paper experiment from a shell.
+
+Examples::
+
+    python -m repro fig7 --approach aq --vms 4
+    python -m repro table2 --bottleneck-gbps 2 --duration-ms 60
+    python -m repro table3
+    python -m repro fig12
+    python -m repro list
+
+Each subcommand runs the corresponding scenario at the given (scaled)
+parameters and prints the paper-style table or series. The benchmark
+suite (``pytest benchmarks/ --benchmark-only``) runs the same scenarios at
+the scales of record with assertions; the CLI is for interactive poking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.agap import simulate_discrepancy_control
+from .core.resources import memory_series, tofino_usage
+from .harness.common import APPROACHES, EntitySpec
+from .harness.report import rate_range_str, render_table
+from .harness.scenarios import (
+    run_cc_pair,
+    run_cc_pair_wct,
+    run_cc_preservation,
+    run_longlived_share,
+    run_single_entity_wct,
+    run_two_entity_fairness,
+    run_udp_tcp_timeline,
+    run_vm_profile,
+)
+from .units import format_rate, gbps
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bottleneck-gbps", type=float, default=2.0,
+                        help="bottleneck rate in Gbps (default 2)")
+    parser.add_argument("--duration-ms", type=float, default=60.0,
+                        help="simulated duration in ms (default 60)")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _approach_arg(parser: argparse.ArgumentParser, default: Optional[str] = None):
+    if default is None:
+        parser.add_argument("--approach", choices=APPROACHES, action="append",
+                            dest="approaches",
+                            help="approach(es) to run (default: all)")
+    else:
+        parser.add_argument("--approach", choices=APPROACHES, default=default)
+
+
+def cmd_fig1(args) -> int:
+    bottleneck = gbps(args.bottleneck_gbps)
+    duration = args.duration_ms * 1e-3
+    rows = []
+    for cc_a, cc_b in [("cubic", "dctcp"), ("cubic", "swift"), ("dctcp", "swift")]:
+        result = run_cc_pair(
+            cc_a, args.flows, cc_b, args.flows, "pq",
+            bottleneck_bps=bottleneck, duration=duration,
+            warmup=duration * 0.4, seed=args.seed,
+        )
+        rows.append([f"{cc_a} vs {cc_b}",
+                     format_rate(result.rates_bps["A"]),
+                     format_rate(result.rates_bps["B"])])
+    print(render_table(["pairing (PQ)", "A", "B"], rows))
+    return 0
+
+
+def cmd_fig3(args) -> int:
+    rows = []
+    strawman = simulate_discrepancy_control(use_agap=False).cycle_peaks()
+    agap = simulate_discrepancy_control(use_agap=True).cycle_peaks()
+    for i in range(min(8, len(strawman), len(agap))):
+        rows.append([f"r{i}", f"{strawman[i] / 1e9:.3f}G", f"{agap[i] / 1e9:.3f}G"])
+    print(render_table(["cycle", "strawman D(t)", "A-Gap"], rows))
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    bottleneck = gbps(args.bottleneck_gbps)
+    approaches = args.approaches or list(APPROACHES)
+    rows = []
+    for approach in approaches:
+        row = [approach.upper()]
+        for vms in args.vms:
+            wct = run_single_entity_wct(
+                vms, approach, args.volume_mb * 1_000_000,
+                bottleneck_bps=bottleneck, seed=args.seed,
+            )
+            row.append(f"{wct * 1e3:.1f}ms")
+        rows.append(row)
+    print(render_table(["approach"] + [f"{v} VMs" for v in args.vms], rows))
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    bottleneck = gbps(args.bottleneck_gbps)
+    approaches = args.approaches or list(APPROACHES)
+    rows = []
+    for approach in approaches:
+        result = run_two_entity_fairness(
+            args.vms, approach, args.volume_mb * 1_000_000,
+            bottleneck_bps=bottleneck, seed=args.seed,
+        )
+        rows.append([approach.upper(), f"{result.fairness():.2f}",
+                     f"{result.wct['A'] * 1e3:.1f}ms",
+                     f"{result.wct['B'] * 1e3:.1f}ms"])
+    print(render_table(["approach", "fairness", "WCT A", f"WCT B ({args.vms} VMs)"],
+                       rows))
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    bottleneck = gbps(args.bottleneck_gbps)
+    duration = args.duration_ms * 1e-3
+    rows = []
+    for approach in ("pq", "aq"):
+        result = run_cc_pair(
+            "cubic", 1, "cubic", args.flows, approach,
+            bottleneck_bps=bottleneck, duration=duration,
+            warmup=duration * 0.4, seed=args.seed,
+        )
+        rows.append([approach.upper(),
+                     format_rate(result.rates_bps["A"]),
+                     format_rate(result.rates_bps["B"])])
+    print(render_table(["approach", "A (1 flow)", f"B ({args.flows} flows)"], rows))
+    return 0
+
+
+def cmd_fig9(args) -> int:
+    bottleneck = gbps(args.bottleneck_gbps)
+    result = run_udp_tcp_timeline(
+        args.approach, bottleneck_bps=bottleneck,
+        phase=args.duration_ms * 1e-3 / 7, seed=args.seed,
+    )
+    entities = ["T1", "T2", "T3", "T4", "U"]
+    rows = []
+    for k in range(7):
+        window = result.rates_in_window[f"phase{k}"]
+        rows.append([f"phase {k}"] + [f"{window[e] / bottleneck:.2f}" for e in entities])
+    print(render_table(["phase"] + entities, rows))
+    return 0
+
+
+def cmd_fig10(args) -> int:
+    bottleneck = gbps(args.bottleneck_gbps)
+    approaches = args.approaches or list(APPROACHES)
+    rows = []
+    for approach in approaches:
+        result = run_cc_pair_wct(
+            args.cc_a, args.cc_b, approach, args.volume_mb * 1_000_000,
+            bottleneck_bps=bottleneck, seed=args.seed,
+        )
+        rows.append([approach.upper(), f"{result.fairness():.2f}",
+                     f"{result.total_wct * 1e3:.1f}ms"])
+    print(render_table(["approach", "fairness", "total WCT"], rows))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    bottleneck = gbps(args.bottleneck_gbps)
+    duration = args.duration_ms * 1e-3
+    rows = []
+    for cc_a, n_a, cc_b, n_b in [
+        ("cubic", 5, "cubic", 5),
+        ("cubic", 5, "dctcp", 5),
+        ("cubic", 5, "swift", 5),
+        ("dctcp", 10, "swift", 5),
+    ]:
+        line = [f"{n_a} {cc_a} + {n_b} {cc_b}"]
+        for approach in ("pq", "aq"):
+            result = run_cc_pair(
+                cc_a, n_a, cc_b, n_b, approach,
+                bottleneck_bps=bottleneck, duration=duration,
+                warmup=duration * 0.4, seed=args.seed,
+            )
+            line.append(
+                f"{format_rate(result.rates_bps['A'])}+"
+                f"{format_rate(result.rates_bps['B'])}"
+            )
+        rows.append(line)
+    print(render_table(["setting", "PQ", "AQ"], rows))
+    return 0
+
+
+def cmd_table3(args) -> int:
+    link = gbps(args.link_gbps)
+    profile = gbps(args.profile_gbps)
+    rows = [["ideal", format_rate(profile), format_rate(profile)]]
+    approaches = args.approaches or list(APPROACHES)
+    for approach in approaches:
+        result = run_vm_profile(
+            approach, link_rate_bps=link, profile_rate_bps=profile,
+            duration=args.duration_ms * 1e-3, seed=args.seed,
+        )
+        rows.append([approach.upper(),
+                     rate_range_str(result.outbound_range_bps),
+                     rate_range_str(result.inbound_range_bps)])
+    print(render_table(["approach", "VM A outbound", "VM A inbound"], rows))
+    return 0
+
+
+def cmd_table4(args) -> int:
+    rows = []
+    for cc in args.ccs:
+        pq = run_cc_preservation(cc, use_aq=False, seed=args.seed)
+        aq = run_cc_preservation(cc, use_aq=True, seed=args.seed)
+        rows.append([cc, format_rate(pq.throughput_bps),
+                     f"{pq.delay_p95 * 1e6:.0f}us",
+                     format_rate(aq.throughput_bps),
+                     f"{aq.delay_p95 * 1e6:.0f}us"])
+    print(render_table(["CC", "PQ rate", "PQ 95p", "AQ rate", "AQ 95p"], rows))
+    return 0
+
+
+def cmd_fig11(args) -> int:
+    rows = [[u.resource, f"{u.used_percent:.1f}%"] for u in tofino_usage()]
+    print(render_table(["resource", "used"], rows))
+    return 0
+
+
+def cmd_fig12(args) -> int:
+    series = memory_series(args.counts)
+    rows = [[f"{n:,}", f"{mb:.2f} MB"] for n, mb in series.items()]
+    print(render_table(["AQs", "memory"], rows))
+    return 0
+
+
+def cmd_share(args) -> int:
+    """Free-form sharing experiment: N entities with chosen CCs."""
+    bottleneck = gbps(args.bottleneck_gbps)
+    duration = args.duration_ms * 1e-3
+    entities = [
+        EntitySpec(name=f"{cc}-{i}", cc=cc, num_flows=args.flows)
+        for i, cc in enumerate(args.ccs)
+    ]
+    result = run_longlived_share(
+        entities, args.approach,
+        bottleneck_bps=bottleneck, duration=duration,
+        warmup=duration * 0.4, seed=args.seed,
+    )
+    rows = [
+        [name, format_rate(rate), f"{rate / bottleneck * 100:.0f}%"]
+        for name, rate in result.rates_bps.items()
+    ]
+    print(render_table(["entity", "throughput", "share"], rows))
+    print(f"utilization: {result.utilization * 100:.0f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Augmented Queue (SIGCOMM 2023) reproduction — "
+                    "run the paper's experiments from the command line.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="CC interference under PQ")
+    _add_common(p)
+    p.add_argument("--flows", type=int, default=10)
+    p.set_defaults(fn=cmd_fig1)
+
+    p = sub.add_parser("fig3", help="strawman D(t) vs A-Gap peaks")
+    p.set_defaults(fn=cmd_fig3)
+
+    p = sub.add_parser("fig6", help="WCT vs VM count, one entity")
+    _add_common(p)
+    _approach_arg(p)
+    p.add_argument("--vms", type=int, nargs="+", default=[1, 4, 8])
+    p.add_argument("--volume-mb", type=float, default=8.0)
+    p.set_defaults(fn=cmd_fig6)
+
+    p = sub.add_parser("fig7", help="entity fairness, 1 VM vs n VMs")
+    _add_common(p)
+    _approach_arg(p)
+    p.add_argument("--vms", type=int, default=4)
+    p.add_argument("--volume-mb", type=float, default=8.0)
+    p.set_defaults(fn=cmd_fig7)
+
+    p = sub.add_parser("fig8", help="throughput vs flow count")
+    _add_common(p)
+    p.add_argument("--flows", type=int, default=16)
+    p.set_defaults(fn=cmd_fig8)
+
+    p = sub.add_parser("fig9", help="UDP/TCP timeline")
+    _add_common(p)
+    _approach_arg(p, default="aq")
+    p.set_defaults(fn=cmd_fig9, duration_ms=280.0)
+
+    p = sub.add_parser("fig10", help="fairness + WCT across CC pairs")
+    _add_common(p)
+    _approach_arg(p)
+    p.add_argument("--cc-a", default="cubic")
+    p.add_argument("--cc-b", default="dctcp")
+    p.add_argument("--volume-mb", type=float, default=6.0)
+    p.set_defaults(fn=cmd_fig10)
+
+    p = sub.add_parser("table2", help="CC-pair throughput, PQ vs AQ")
+    _add_common(p)
+    p.set_defaults(fn=cmd_table2)
+
+    p = sub.add_parser("table3", help="VM bi-directional profile")
+    _approach_arg(p)
+    p.add_argument("--link-gbps", type=float, default=2.5)
+    p.add_argument("--profile-gbps", type=float, default=0.5)
+    p.add_argument("--duration-ms", type=float, default=150.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_table3)
+
+    p = sub.add_parser("table4", help="CC behaviour preservation")
+    p.add_argument("--ccs", nargs="+", default=["cubic", "newreno", "dctcp"])
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_table4)
+
+    p = sub.add_parser("fig11", help="switch resource usage (model)")
+    p.set_defaults(fn=cmd_fig11)
+
+    p = sub.add_parser("fig12", help="memory vs number of AQs")
+    p.add_argument("--counts", type=int, nargs="+",
+                   default=[100_000, 1_000_000, 5_000_000])
+    p.set_defaults(fn=cmd_fig12)
+
+    p = sub.add_parser("share", help="custom entity-sharing experiment")
+    _add_common(p)
+    _approach_arg(p, default="aq")
+    p.add_argument("--ccs", nargs="+", default=["cubic", "udp"],
+                   help="one entity per CC name (udp allowed)")
+    p.add_argument("--flows", type=int, default=4)
+    p.set_defaults(fn=cmd_share)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

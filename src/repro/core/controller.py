@@ -1,0 +1,390 @@
+"""The AQ Controller — the control plane of Section 4.1.
+
+Tenants submit :class:`AqRequest`\\ s carrying the three kinds of
+information the paper enumerates:
+
+* **rate-related** — an absolute bandwidth demand *or* a network weight
+  (``absolute`` vs ``weighted`` mode), plus the *share group* naming the
+  bottleneck resource the AQ competes for;
+* **CC-related** — the :class:`~repro.core.feedback.FeedbackPolicy`;
+* **position-related** — which switch and which pipeline position
+  (ingress or egress).
+
+The controller grants or declines (absolute mode is admission-controlled
+against the share group's capacity), allocates the unique AQ ID the tenant
+must tag into packet headers, deploys the AQ into the target switch's
+:class:`~repro.core.pipeline.AqPipeline`, and — in weighted mode — keeps
+per-AQ rates up to date as membership and activity change
+(:class:`WeightedAllocator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import AdmissionError, ConfigurationError
+from ..sim.engine import PeriodicTask
+from .aq import AugmentedQueue
+from .feedback import FeedbackPolicy, drop_policy  # noqa: F401 (from_dict)
+from .pipeline import AqPipeline, POSITIONS
+
+#: Default maximum A-Gap, mirroring a commodity 200-packet port buffer.
+DEFAULT_LIMIT_BYTES = 200 * 1500
+
+
+@dataclass
+class AqRequest:
+    """A tenant's request for one AQ (Table 1, left column)."""
+
+    entity: str
+    switch: str
+    position: str
+    absolute_rate_bps: Optional[float] = None
+    weight: Optional[float] = None
+    share_group: str = "default"
+    policy: FeedbackPolicy = field(default_factory=drop_policy)
+    limit_bytes: float = DEFAULT_LIMIT_BYTES
+    #: Record per-packet virtual queuing delays (measurement aid, Table 4).
+    record_delays: bool = False
+
+    def __post_init__(self) -> None:
+        if self.position not in POSITIONS:
+            raise ConfigurationError(
+                f"position must be one of {POSITIONS}, got {self.position!r}"
+            )
+        has_abs = self.absolute_rate_bps is not None
+        has_weight = self.weight is not None
+        if has_abs == has_weight:
+            raise ConfigurationError(
+                "exactly one of absolute_rate_bps / weight must be given"
+            )
+        if has_abs and self.absolute_rate_bps <= 0:
+            raise ConfigurationError("absolute rate must be positive")
+        if has_weight and self.weight <= 0:
+            raise ConfigurationError("weight must be positive")
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weight is not None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the request (tenant -> controller)."""
+        payload = {
+            "entity": self.entity,
+            "switch": self.switch,
+            "position": self.position,
+            "share_group": self.share_group,
+            "policy": self.policy.to_dict(),
+            "limit_bytes": self.limit_bytes,
+        }
+        if self.absolute_rate_bps is not None:
+            payload["absolute_rate_bps"] = self.absolute_rate_bps
+        if self.weight is not None:
+            payload["weight"] = self.weight
+        if self.record_delays:
+            payload["record_delays"] = True
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AqRequest":
+        """Inverse of :meth:`to_dict`; validates like the constructor."""
+        return cls(
+            entity=payload["entity"],
+            switch=payload["switch"],
+            position=payload["position"],
+            absolute_rate_bps=payload.get("absolute_rate_bps"),
+            weight=payload.get("weight"),
+            share_group=payload.get("share_group", "default"),
+            policy=FeedbackPolicy.from_dict(payload.get("policy", {})),
+            limit_bytes=payload.get("limit_bytes", DEFAULT_LIMIT_BYTES),
+            record_delays=payload.get("record_delays", False),
+        )
+
+
+@dataclass
+class AqGrant:
+    """A granted request: the ID to tag into headers plus the live AQ."""
+
+    aq_id: int
+    request: AqRequest
+    aq: AugmentedQueue
+
+
+class _ShareGroup:
+    """Book-keeping for one contended resource (usually one link)."""
+
+    def __init__(self, name: str, capacity_bps: float) -> None:
+        if capacity_bps <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity_bps}")
+        self.name = name
+        self.capacity_bps = capacity_bps
+        self.absolute_committed_bps = 0.0
+        self.weighted_grants: List[AqGrant] = []
+        self.allocator: Optional["WeightedAllocator"] = None
+
+    @property
+    def weighted_capacity_bps(self) -> float:
+        """Capacity left for weighted AQs after absolute commitments."""
+        return self.capacity_bps - self.absolute_committed_bps
+
+
+class AqController:
+    """Cloud-operator control plane managing AQ grants and deployments."""
+
+    def __init__(self, network) -> None:
+        self.network = network
+        self._pipelines: Dict[str, AqPipeline] = {}
+        self._groups: Dict[str, _ShareGroup] = {}
+        self._grants: Dict[int, AqGrant] = {}
+        self._next_aq_id = 0
+
+    # -- resources ---------------------------------------------------------------
+
+    def register_resource(self, share_group: str, capacity_bps: float) -> None:
+        """Declare the capacity of a contended resource (bottleneck link)."""
+        if share_group in self._groups:
+            raise ConfigurationError(f"share group {share_group!r} already registered")
+        self._groups[share_group] = _ShareGroup(share_group, capacity_bps)
+
+    def pipeline(self, switch_name: str) -> AqPipeline:
+        """The (lazily created) AQ pipeline of a switch."""
+        pipeline = self._pipelines.get(switch_name)
+        if pipeline is None:
+            switch = self.network.switches.get(switch_name)
+            if switch is None:
+                raise ConfigurationError(f"unknown switch {switch_name!r}")
+            pipeline = AqPipeline(switch)
+            self._pipelines[switch_name] = pipeline
+        return pipeline
+
+    # -- grants -----------------------------------------------------------------------
+
+    def request(self, req: AqRequest) -> AqGrant:
+        """Grant or decline one AQ request (Section 4.1 "AQ grants")."""
+        group = self._groups.get(req.share_group)
+        if group is None:
+            raise ConfigurationError(
+                f"share group {req.share_group!r} is not registered"
+            )
+        if req.is_weighted:
+            rate = self._weighted_admission(group, req)
+        else:
+            rate = self._absolute_admission(group, req)
+
+        self._next_aq_id += 1
+        aq = AugmentedQueue(
+            aq_id=self._next_aq_id,
+            rate_bps=rate,
+            limit_bytes=req.limit_bytes,
+            policy=req.policy,
+            start_time=self.network.sim.now,
+            record_delays=req.record_delays,
+        )
+        grant = AqGrant(aq_id=aq.aq_id, request=req, aq=aq)
+        self.pipeline(req.switch).deploy(aq, req.position)
+        self._grants[aq.aq_id] = grant
+        if req.is_weighted:
+            group.weighted_grants.append(grant)
+            self._rebalance_weights(group)
+        return grant
+
+    def request_path(self, req: AqRequest, switches: List[str]) -> List[AqGrant]:
+        """Deploy one entity's AQ at several switches under a *single* AQ ID.
+
+        The tenant tags one ID into the header (Section 4.1 gives it only
+        two header fields), but its traffic may need rate control at every
+        hop — e.g. an ingress AQ at each switch of a leaf-spine path, each
+        with its own A-Gap state. The first switch's grant allocates the
+        ID; the remaining switches get their own AQ instances deployed
+        under that same ID. Admission runs once per share group.
+        """
+        if not switches:
+            raise ConfigurationError("request_path needs at least one switch")
+        first = AqRequest(**{**req.__dict__, "switch": switches[0]})
+        primary = self.request(first)
+        grants = [primary]
+        for switch_name in switches[1:]:
+            aq = AugmentedQueue(
+                aq_id=primary.aq_id,
+                rate_bps=primary.aq.rate_bps,
+                limit_bytes=req.limit_bytes,
+                policy=req.policy,
+                start_time=self.network.sim.now,
+                record_delays=req.record_delays,
+            )
+            self.pipeline(switch_name).deploy(aq, req.position)
+            secondary = AqGrant(
+                aq_id=primary.aq_id,
+                request=AqRequest(**{**req.__dict__, "switch": switch_name}),
+                aq=aq,
+            )
+            grants.append(secondary)
+        return grants
+
+    def withdraw_path(self, grants: List[AqGrant]) -> None:
+        """Undo :meth:`request_path`: remove the secondary deployments,
+        then release the primary grant."""
+        for grant in grants[1:]:
+            self.pipeline(grant.request.switch).withdraw(
+                grant.aq_id, grant.request.position
+            )
+        if grants:
+            self.withdraw(grants[0])
+
+    def withdraw(self, grant: AqGrant) -> None:
+        """Remove a granted AQ from the data plane and release its rate."""
+        stored = self._grants.pop(grant.aq_id, None)
+        if stored is None:
+            return
+        req = grant.request
+        self.pipeline(req.switch).withdraw(grant.aq_id, req.position)
+        group = self._groups[req.share_group]
+        if req.is_weighted:
+            group.weighted_grants = [
+                g for g in group.weighted_grants if g.aq_id != grant.aq_id
+            ]
+            self._rebalance_weights(group)
+        else:
+            group.absolute_committed_bps -= req.absolute_rate_bps
+
+    def grant_for(self, aq_id: int) -> Optional[AqGrant]:
+        return self._grants.get(aq_id)
+
+    # -- admission helpers ----------------------------------------------------------
+
+    def _absolute_admission(self, group: _ShareGroup, req: AqRequest) -> float:
+        rate = req.absolute_rate_bps
+        assert rate is not None
+        if group.absolute_committed_bps + rate > group.capacity_bps + 1e-6:
+            raise AdmissionError(
+                f"declined: share group {group.name!r} has "
+                f"{group.capacity_bps - group.absolute_committed_bps:.3g}bps free, "
+                f"requested {rate:.3g}bps"
+            )
+        group.absolute_committed_bps += rate
+        return rate
+
+    def _weighted_admission(self, group: _ShareGroup, req: AqRequest) -> float:
+        total_weight = sum(g.request.weight for g in group.weighted_grants)
+        total_weight += req.weight  # include the newcomer
+        return group.weighted_capacity_bps * req.weight / total_weight
+
+    def _rebalance_weights(self, group: _ShareGroup) -> None:
+        """Static weighted split: every weighted AQ gets its proportional
+        share (the allocator refines this with activity when enabled)."""
+        if group.allocator is not None:
+            group.allocator.rebalance_now()
+            return
+        total = sum(g.request.weight for g in group.weighted_grants)
+        if total <= 0:
+            return
+        now = self.network.sim.now
+        for grant in group.weighted_grants:
+            rate = group.weighted_capacity_bps * grant.request.weight / total
+            grant.aq.set_rate(now, rate)
+
+    # -- weighted-mode dynamic reallocation -----------------------------------------
+
+    def enable_weighted_reallocation(
+        self,
+        share_group: str,
+        interval: float = 10e-3,
+        activity_fraction: float = 0.1,
+        inactive_floor: float = 0.05,
+    ) -> "WeightedAllocator":
+        """Start periodic activity-aware reallocation for a share group.
+
+        This implements the "determines (or updates) the specific bandwidth
+        for each AQ based on their weights" behaviour of Section 4.1: AQs
+        whose measured arrival rate is below ``activity_fraction`` of their
+        fair share are considered idle and parked at a small ramp-up floor;
+        their bandwidth is redistributed to active AQs by weight.
+        """
+        group = self._groups.get(share_group)
+        if group is None:
+            raise ConfigurationError(f"share group {share_group!r} is not registered")
+        if group.allocator is not None:
+            raise ConfigurationError(
+                f"share group {share_group!r} already has an allocator"
+            )
+        allocator = WeightedAllocator(
+            self.network.sim, group, interval, activity_fraction, inactive_floor
+        )
+        group.allocator = allocator
+        return allocator
+
+
+class WeightedAllocator:
+    """Periodic activity-aware weighted reallocation (Fig 9's mechanism)."""
+
+    def __init__(
+        self,
+        sim,
+        group: _ShareGroup,
+        interval: float,
+        activity_fraction: float,
+        inactive_floor: float,
+    ) -> None:
+        self.sim = sim
+        self.group = group
+        self.interval = interval
+        self.activity_fraction = activity_fraction
+        self.inactive_floor = inactive_floor
+        self._last_arrived: Dict[int, int] = {}
+        self._task = PeriodicTask(sim, interval, self._tick)
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def rebalance_now(self) -> None:
+        """Re-run allocation immediately (called on membership changes)."""
+        self._tick(first_classification=True)
+
+    def _measured_rates(self) -> Dict[int, float]:
+        rates: Dict[int, float] = {}
+        for grant in self.group.weighted_grants:
+            arrived = grant.aq.stats.arrived_bytes
+            last = self._last_arrived.get(grant.aq_id, 0)
+            rates[grant.aq_id] = (arrived - last) * 8.0 / self.interval
+            self._last_arrived[grant.aq_id] = arrived
+        return rates
+
+    def _tick(self, first_classification: bool = False) -> None:
+        grants = self.group.weighted_grants
+        if not grants:
+            return
+        capacity = self.group.weighted_capacity_bps
+        total_weight = sum(g.request.weight for g in grants)
+        rates = self._measured_rates()
+        now = self.sim.now
+
+        active: List[AqGrant] = []
+        idle: List[AqGrant] = []
+        for grant in grants:
+            fair_share = capacity * grant.request.weight / total_weight
+            # Newly granted AQs start as active so they can ramp immediately.
+            is_new = first_classification and grant.aq.stats.arrived_bytes == 0
+            if is_new or rates[grant.aq_id] >= self.activity_fraction * fair_share:
+                active.append(grant)
+            else:
+                idle.append(grant)
+        if not active:
+            # Nobody is sending; park everyone at the static split.
+            for grant in grants:
+                grant.aq.set_rate(
+                    now, capacity * grant.request.weight / total_weight
+                )
+            return
+
+        floor_total = 0.0
+        for grant in idle:
+            fair_share = capacity * grant.request.weight / total_weight
+            floor = fair_share * self.inactive_floor
+            grant.aq.set_rate(now, floor)
+            floor_total += floor
+
+        remaining = max(capacity - floor_total, 0.0)
+        active_weight = sum(g.request.weight for g in active)
+        for grant in active:
+            grant.aq.set_rate(now, remaining * grant.request.weight / active_weight)

@@ -1,0 +1,93 @@
+"""Feedback policies — the CC-related half of an AQ configuration.
+
+Algorithm 2 dispatches on the entity's CC family:
+
+* **drop** — nothing beyond the limit-drop (drop-based CCs react to loss);
+* **ecn** — CE-mark the packet when the A-Gap exceeds the entity's virtual
+  ECN threshold (per-entity DCTCP marking);
+* **delay** — add the AQ's virtual queuing delay ``A/R`` to the packet's
+  accumulated delay header for delay-based CCs.
+
+The policy travels inside the AQ request (the paper's "CC fields") and is
+copied verbatim into the deployed AQ configuration (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cc.base import DELAY_BASED, DROP_BASED, ECN_BASED
+from ..errors import ConfigurationError
+
+_VALID_KINDS = (DROP_BASED, ECN_BASED, DELAY_BASED)
+
+
+@dataclass(frozen=True)
+class FeedbackPolicy:
+    """How an AQ turns its A-Gap into network feedback for one entity."""
+
+    kind: str = DROP_BASED
+    #: A-Gap level (bytes) above which ECN-capable packets are CE-marked.
+    #: Required when ``kind == "ecn"``.
+    ecn_threshold_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ConfigurationError(
+                f"unknown feedback kind {self.kind!r}; expected one of {_VALID_KINDS}"
+            )
+        if self.kind == ECN_BASED and self.ecn_threshold_bytes is None:
+            raise ConfigurationError("ECN feedback requires ecn_threshold_bytes")
+        if self.ecn_threshold_bytes is not None and self.ecn_threshold_bytes < 0:
+            raise ConfigurationError(
+                f"ECN threshold must be non-negative, got {self.ecn_threshold_bytes}"
+            )
+
+    def to_dict(self) -> dict:
+        """Wire/JSON form (the "CC fields" of an AQ request, Section 4.1)."""
+        payload = {"kind": self.kind}
+        if self.ecn_threshold_bytes is not None:
+            payload["ecn_threshold_bytes"] = self.ecn_threshold_bytes
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FeedbackPolicy":
+        """Inverse of :meth:`to_dict`; validates like the constructor."""
+        return cls(
+            kind=payload.get("kind", DROP_BASED),
+            ecn_threshold_bytes=payload.get("ecn_threshold_bytes"),
+        )
+
+
+def drop_policy() -> FeedbackPolicy:
+    """Feedback for drop-based CCs (CUBIC, NewReno, Illinois) and UDP."""
+    return FeedbackPolicy(kind=DROP_BASED)
+
+
+def ecn_policy(ecn_threshold_bytes: int) -> FeedbackPolicy:
+    """Feedback for ECN-based CCs (DCTCP)."""
+    return FeedbackPolicy(kind=ECN_BASED, ecn_threshold_bytes=ecn_threshold_bytes)
+
+
+def delay_policy() -> FeedbackPolicy:
+    """Feedback for delay-based CCs (Swift)."""
+    return FeedbackPolicy(kind=DELAY_BASED)
+
+
+def policy_for_cc(
+    cc_name: str, ecn_threshold_bytes: Optional[int] = None
+) -> FeedbackPolicy:
+    """Build the matching policy for a registered CC name."""
+    from ..cc.registry import cc_kind  # local import to avoid a cycle
+
+    kind = cc_kind(cc_name)
+    if kind == ECN_BASED:
+        if ecn_threshold_bytes is None:
+            raise ConfigurationError(
+                f"CC {cc_name!r} is ECN-based and needs an ecn_threshold_bytes"
+            )
+        return ecn_policy(ecn_threshold_bytes)
+    if kind == DELAY_BASED:
+        return delay_policy()
+    return drop_policy()

@@ -1,0 +1,116 @@
+"""Hardware-faithful fixed-point A-Gap (what the Tofino actually computes).
+
+A programmable switch has no floating point: Algorithm 1 runs on integer
+registers. This module mirrors that implementation:
+
+* **timestamps** are integer nanoseconds (the ingress timestamp),
+* **gaps** are integer bytes,
+* the **AQ rate** is the paper's 3-byte field (Table 1, "1MB ~ 1TB"
+  range): an 8-bit exponent and 16-bit mantissa encoding bytes-per-
+  second as ``mantissa << exponent``, so the drain term
+  ``Δns · rate / 1e9`` reduces to multiply-and-shift,
+* ``max(0, ·)`` is the saturating subtract Tofino's ALUs provide.
+
+:class:`FixedPointAGap` is register-for-register comparable with the
+reference :class:`~repro.core.agap.AGapTracker`; the property tests in
+``tests/test_fixedpoint.py`` bound the quantization error between them,
+which is the fidelity argument for the float model used by the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import ConfigurationError
+
+#: Encodable rate range of the 3-byte field, bytes/second. The paper
+#: quotes "1MB ~ 1TB" (bytes per second).
+MIN_RATE_BYTES_PER_S = 1_000_000
+MAX_RATE_BYTES_PER_S = 1_000_000_000_000
+
+_MANTISSA_BITS = 16
+_MANTISSA_MAX = (1 << _MANTISSA_BITS) - 1
+
+#: Nanoseconds per second, as the integer the data plane divides by
+#: (implemented as a multiply by a reciprocal constant + shift; modelled
+#: here as exact integer arithmetic on the product).
+NS_PER_S = 1_000_000_000
+
+
+def encode_rate(rate_bytes_per_s: float) -> Tuple[int, int]:
+    """Encode a rate into the 3-byte (mantissa, exponent) wire format.
+
+    Rounds to the nearest representable value; raises for rates outside
+    the paper's supported range.
+    """
+    if not MIN_RATE_BYTES_PER_S <= rate_bytes_per_s <= MAX_RATE_BYTES_PER_S:
+        raise ConfigurationError(
+            f"rate {rate_bytes_per_s:.3g} B/s outside the 3-byte field's "
+            f"range [{MIN_RATE_BYTES_PER_S}, {MAX_RATE_BYTES_PER_S}]"
+        )
+    exponent = 0
+    value = rate_bytes_per_s
+    while value > _MANTISSA_MAX:
+        value /= 2.0
+        exponent += 1
+    return int(round(value)), exponent
+
+
+def decode_rate(mantissa: int, exponent: int) -> int:
+    """Decode the wire format back to bytes/second."""
+    if not 0 <= mantissa <= _MANTISSA_MAX:
+        raise ConfigurationError(f"mantissa {mantissa} exceeds 16 bits")
+    if not 0 <= exponent <= 255:
+        raise ConfigurationError(f"exponent {exponent} exceeds 8 bits")
+    return mantissa << exponent
+
+
+def rate_quantization_error(rate_bytes_per_s: float) -> float:
+    """Relative error introduced by the 3-byte encoding (< 2^-16)."""
+    mantissa, exponent = encode_rate(rate_bytes_per_s)
+    return abs(decode_rate(mantissa, exponent) - rate_bytes_per_s) / rate_bytes_per_s
+
+
+class FixedPointAGap:
+    """Integer-register implementation of Algorithm 1.
+
+    State: ``gap`` (bytes, 32-bit in hardware), ``last_time_ns`` and the
+    encoded rate — 15 bytes total per Table 1.
+    """
+
+    __slots__ = ("mantissa", "exponent", "gap_bytes", "last_time_ns")
+
+    def __init__(self, rate_bytes_per_s: float, start_time_ns: int = 0) -> None:
+        self.mantissa, self.exponent = encode_rate(rate_bytes_per_s)
+        self.gap_bytes = 0
+        self.last_time_ns = int(start_time_ns)
+
+    @property
+    def rate_bytes_per_s(self) -> int:
+        return decode_rate(self.mantissa, self.exponent)
+
+    def on_arrival(self, time_ns: int, size_bytes: int) -> int:
+        """Integer Theorem 3.2: saturating drain, then add the packet."""
+        time_ns = int(time_ns)
+        if time_ns < self.last_time_ns:
+            raise ConfigurationError(
+                f"arrival at {time_ns}ns precedes {self.last_time_ns}ns"
+            )
+        delta_ns = time_ns - self.last_time_ns
+        # drain = Δns * rate / 1e9, computed as (Δns * mantissa) >> shift
+        # then divided by NS_PER_S — all integer.
+        drained_bytes = (delta_ns * self.mantissa << self.exponent) // NS_PER_S
+        gap = self.gap_bytes - drained_bytes
+        if gap < 0:
+            gap = 0  # saturating subtract
+        self.gap_bytes = gap + int(size_bytes)
+        self.last_time_ns = time_ns
+        return self.gap_bytes
+
+    def undo_arrival(self, size_bytes: int) -> None:
+        """Algorithm 2's drop path (saturating)."""
+        self.gap_bytes = max(0, self.gap_bytes - int(size_bytes))
+
+    def virtual_queuing_delay_ns(self) -> int:
+        """``gap / rate`` in integer nanoseconds (the piggybacked value)."""
+        return self.gap_bytes * NS_PER_S // self.rate_bytes_per_s

@@ -1,0 +1,83 @@
+"""Switch data-plane integration (paper Section 4.2).
+
+An :class:`AqPipeline` holds the AQ tables of one switch. Its ingress hook
+runs when a packet arrives at the switch and matches ``aq_ingress_id``;
+its egress hook runs at output-port dequeue time and matches
+``aq_egress_id``. The default header value (0) means "no AQ at this
+position" and the packet passes untouched — exactly the lookup procedure
+the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..errors import ConfigurationError
+from ..net.packet import NO_AQ, Packet
+from ..net.switch import Switch
+from .aq import AugmentedQueue
+
+INGRESS = "ingress"
+EGRESS = "egress"
+POSITIONS = (INGRESS, EGRESS)
+
+
+class AqPipeline:
+    """The per-switch AQ match tables, installed onto the switch's hooks."""
+
+    def __init__(self, switch: Switch) -> None:
+        self.switch = switch
+        self._ingress: Dict[int, AugmentedQueue] = {}
+        self._egress: Dict[int, AugmentedQueue] = {}
+        switch.add_ingress_hook(self._ingress_hook)
+        for port in switch.ports.values():
+            port.add_egress_hook(self._egress_hook)
+
+    # -- table management -----------------------------------------------------------
+
+    def deploy(self, aq: AugmentedQueue, position: str) -> None:
+        table = self._table(position)
+        if aq.aq_id in table:
+            raise ConfigurationError(
+                f"AQ {aq.aq_id} already deployed at {position} of {self.switch.name}"
+            )
+        table[aq.aq_id] = aq
+
+    def withdraw(self, aq_id: int, position: str) -> None:
+        self._table(position).pop(aq_id, None)
+
+    def lookup(self, aq_id: int, position: str) -> Optional[AugmentedQueue]:
+        return self._table(position).get(aq_id)
+
+    def deployed(self) -> Iterator[AugmentedQueue]:
+        yield from self._ingress.values()
+        yield from self._egress.values()
+
+    def _table(self, position: str) -> Dict[int, AugmentedQueue]:
+        if position == INGRESS:
+            return self._ingress
+        if position == EGRESS:
+            return self._egress
+        raise ConfigurationError(
+            f"position must be one of {POSITIONS}, got {position!r}"
+        )
+
+    # -- data path --------------------------------------------------------------------
+
+    def _ingress_hook(self, packet: Packet, now: float) -> bool:
+        aq_id = packet.aq_ingress_id
+        if aq_id == NO_AQ:
+            return True
+        aq = self._ingress.get(aq_id)
+        if aq is None:
+            return True  # no AQ deployed here for this ID; pass through
+        return aq.process(packet, now)
+
+    def _egress_hook(self, packet: Packet, now: float) -> bool:
+        aq_id = packet.aq_egress_id
+        if aq_id == NO_AQ:
+            return True
+        aq = self._egress.get(aq_id)
+        if aq is None:
+            return True
+        return aq.process(packet, now)

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the AQ reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch the whole family with one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly (e.g. past scheduling)."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or invalid parameters."""
+
+
+class RoutingError(ReproError):
+    """No route exists for a packet, or the topology is malformed."""
+
+
+class AdmissionError(ReproError):
+    """The AQ Controller declined a request (insufficient bandwidth, etc.)."""
+
+
+class TransportError(ReproError):
+    """A transport endpoint was driven into an invalid state."""

@@ -1,0 +1,43 @@
+"""Plain-text table/series rendering for benchmark output.
+
+Benchmarks print the same rows and series the paper's tables and figures
+report; these helpers keep the formatting consistent and legible in a
+terminal (and in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..units import format_rate
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Monospace table with column widths fitted to content."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(str(c).ljust(widths[i]) for i, c in enumerate(cells))
+    sep = "-+-".join("-" * w for w in widths)
+    out: List[str] = [line(headers), sep]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def rate_range_str(range_bps) -> str:
+    """Format a (low, high) rate range like Table 3: '4.9Gbps ~ 5.2Gbps'."""
+    low, high = range_bps
+    return f"{format_rate(low)} ~ {format_rate(high)}"
+
+
+def banner(title: str) -> str:
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def print_experiment(title: str, body: str) -> None:
+    """Print one experiment block (used by every benchmark)."""
+    print(banner(title))
+    print(body)

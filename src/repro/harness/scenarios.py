@@ -1,0 +1,936 @@
+"""Experiment scenarios: one function per paper experiment family.
+
+Each function builds a topology, wires one sharing approach
+(:mod:`repro.harness.common`), runs the workload, and returns plain result
+dataclasses. The benchmarks in ``benchmarks/`` call these at documented
+scales and print the paper's rows/series; tests call them at tiny scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.controller import AqController, AqRequest
+from ..core.feedback import drop_policy, ecn_policy
+from ..errors import ConfigurationError
+from ..ratelimit.elasticswitch import ElasticSwitch, VmProfile
+from ..ratelimit.token_bucket import TokenBucketShaper
+from ..stats.fairness import entity_fairness
+from ..stats.meters import CompletionTracker, ThroughputMeter, percentile
+from ..topology.base import QueueConfig
+from ..topology.dumbbell import Dumbbell, DumbbellConfig
+from ..topology.star import Star, StarConfig
+from ..transport.tcp import TcpConnection
+from ..transport.udp import UdpFlow
+from ..units import gbps
+from ..workloads.generator import EntityWorkload, FlowSpec
+from .common import (
+    AQ,
+    DRL,
+    PQ,
+    PRL,
+    EntitySpec,
+    SharingEnv,
+    ecn_threshold_bytes,
+    install_sharing,
+    pq_queue_ecn_threshold,
+    queue_limit_bytes,
+)
+
+# ---------------------------------------------------------------------------
+# Long-lived sharing experiments (Fig 1, Fig 8, Fig 9, Table 2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShareResult:
+    """Per-entity steady-state throughput of a long-lived sharing run."""
+
+    approach: str
+    bottleneck_bps: float
+    duration: float
+    warmup: float
+    rates_bps: Dict[str, float]
+    meters: Dict[str, ThroughputMeter]
+    env: SharingEnv
+
+    @property
+    def utilization(self) -> float:
+        return sum(self.rates_bps.values()) / self.bottleneck_bps
+
+    def ratio(self, a: str, b: str) -> float:
+        hi = max(self.rates_bps[a], self.rates_bps[b])
+        if hi == 0:
+            return 1.0
+        return min(self.rates_bps[a], self.rates_bps[b]) / hi
+
+
+def _build_dumbbell_for(
+    entities: Sequence[EntitySpec],
+    approach: str,
+    bottleneck_bps: float,
+    seed: int,
+    collect_delays: bool = False,
+) -> Tuple[Dumbbell, Dict[str, List[str]], Dict[str, List[str]]]:
+    total_vms = sum(spec.num_vms for spec in entities)
+    queue_config = QueueConfig(
+        limit_bytes=queue_limit_bytes(),
+        ecn_threshold_bytes=pq_queue_ecn_threshold(approach, entities, bottleneck_bps),
+        collect_delays=collect_delays,
+    )
+    dumbbell = Dumbbell(
+        DumbbellConfig(
+            num_left=total_vms,
+            num_right=total_vms,
+            bottleneck_rate_bps=bottleneck_bps,
+            queue_config=queue_config,
+            seed=seed,
+        )
+    )
+    src_hosts: Dict[str, List[str]] = {}
+    dst_hosts: Dict[str, List[str]] = {}
+    index = 0
+    for spec in entities:
+        src_hosts[spec.name] = dumbbell.left_hosts[index : index + spec.num_vms]
+        dst_hosts[spec.name] = dumbbell.right_hosts[index : index + spec.num_vms]
+        index += spec.num_vms
+    return dumbbell, src_hosts, dst_hosts
+
+
+def run_longlived_share(
+    entities: Sequence[EntitySpec],
+    approach: str,
+    bottleneck_bps: float = gbps(10),
+    duration: float = 60e-3,
+    warmup: float = 20e-3,
+    seed: int = 1,
+    meter_interval: Optional[float] = None,
+    aq_limit_bytes: Optional[float] = None,
+    enable_reallocation: bool = False,
+    reallocation_interval: float = 10e-3,
+) -> ShareResult:
+    """Entities with long-lived flows share a dumbbell bottleneck.
+
+    This is the engine behind Figure 1 (CC pairs under PQ), Table 2 (CC
+    pairs under PQ vs AQ), Figure 8 (flow-count battles), and Figure 9
+    (UDP vs TCP timelines, with ``enable_reallocation`` and staggered
+    ``start_time``/``stop_time`` in the specs).
+    """
+    if warmup >= duration:
+        raise ConfigurationError("warmup must be shorter than duration")
+    dumbbell, src_hosts, dst_hosts = _build_dumbbell_for(
+        entities, approach, bottleneck_bps, seed
+    )
+    network = dumbbell.network
+    env = install_sharing(
+        network,
+        Dumbbell.LEFT_SWITCH,
+        bottleneck_bps,
+        entities,
+        approach,
+        src_hosts,
+        dst_hosts,
+        aq_limit_bytes=aq_limit_bytes,
+        enable_reallocation=enable_reallocation,
+        reallocation_interval=reallocation_interval,
+    )
+
+    interval = meter_interval if meter_interval is not None else duration / 60.0
+    meters: Dict[str, ThroughputMeter] = {}
+    for spec in entities:
+        meter = ThroughputMeter(network.sim, interval, name=spec.name)
+        meters[spec.name] = meter
+        srcs = src_hosts[spec.name]
+        dsts = dst_hosts[spec.name]
+        ingress_id = env.aq_ingress_id(spec.name)
+        if spec.is_udp:
+            rate = spec.udp_rate_bps or bottleneck_bps
+            for i in range(spec.num_flows):
+                flow = UdpFlow(
+                    network,
+                    srcs[i % len(srcs)],
+                    dsts[i % len(dsts)],
+                    rate / spec.num_flows,
+                    start_time=spec.start_time,
+                    stop_time=spec.stop_time,
+                    aq_ingress_id=ingress_id,
+                    on_deliver=meter.add,
+                )
+                del flow
+        else:
+            for i in range(spec.num_flows):
+                conn = TcpConnection(
+                    network,
+                    srcs[i % len(srcs)],
+                    dsts[i % len(dsts)],
+                    env.make_cc(spec.name),
+                    size_bytes=None,
+                    start_time=spec.start_time,
+                    aq_ingress_id=ingress_id,
+                    on_deliver=meter.add,
+                )
+                if spec.stop_time is not None:
+                    network.sim.schedule_at(spec.stop_time, conn.sender.stop)
+
+    network.run(until=duration)
+
+    rates = {
+        spec.name: meters[spec.name].mean_rate(
+            after=max(warmup, spec.start_time + (warmup - 0.0)),
+            before=spec.stop_time if spec.stop_time is not None else duration,
+        )
+        for spec in entities
+    }
+    return ShareResult(
+        approach=approach,
+        bottleneck_bps=bottleneck_bps,
+        duration=duration,
+        warmup=warmup,
+        rates_bps=rates,
+        meters=meters,
+        env=env,
+    )
+
+
+def run_cc_pair(
+    cc_a: str,
+    flows_a: int,
+    cc_b: str,
+    flows_b: int,
+    approach: str,
+    bottleneck_bps: float = gbps(10),
+    duration: float = 60e-3,
+    warmup: float = 20e-3,
+    seed: int = 1,
+) -> ShareResult:
+    """Two equal-weight entities with different CCs (Fig 1 / Table 2 rows)."""
+    entities = [
+        EntitySpec(name="A", cc=cc_a, num_flows=flows_a),
+        EntitySpec(name="B", cc=cc_b, num_flows=flows_b),
+    ]
+    return run_longlived_share(
+        entities, approach, bottleneck_bps, duration, warmup, seed
+    )
+
+
+# ---------------------------------------------------------------------------
+# Workload-completion-time experiments (Fig 6, Fig 7, Fig 10)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WctResult:
+    """Workload completion times of one run."""
+
+    approach: str
+    wct: Dict[str, float]  # entity -> completion time (inf if unfinished)
+    completed: Dict[str, bool]
+    total_wct: float
+
+    def fairness(self, a: str = "A", b: str = "B") -> float:
+        return entity_fairness(self.wct[a], self.wct[b])
+
+
+class _VmQueueRunner:
+    """Executes one VM's flow queue: FIFO, one at a time, each flow
+    starting at the later of its arrival time and the previous flow's
+    completion (an M/G/1-style work queue per VM)."""
+
+    def __init__(
+        self,
+        network,
+        cc_factory,
+        flows: List[FlowSpec],
+        tracker: Optional[CompletionTracker] = None,
+        ingress_id: int = 0,
+        egress_id_for: Optional[Dict[str, int]] = None,
+        on_deliver=None,
+    ) -> None:
+        self.network = network
+        self.cc_factory = cc_factory
+        self.flows = list(flows)
+        self.tracker = tracker
+        self.ingress_id = ingress_id
+        self.egress_id_for = egress_id_for or {}
+        self.on_deliver = on_deliver
+        self._index = 0
+        if self.flows:
+            network.sim.schedule_at(self.flows[0].start_time, self._start_next)
+
+    def _start_next(self) -> None:
+        if self._index >= len(self.flows):
+            return
+        flow = self.flows[self._index]
+        self._index += 1
+        TcpConnection(
+            self.network,
+            flow.src,
+            flow.dst,
+            self.cc_factory(),
+            size_bytes=flow.size_bytes,
+            start_time=max(flow.start_time, self.network.sim.now),
+            aq_ingress_id=self.ingress_id,
+            aq_egress_id=self.egress_id_for.get(flow.dst, 0),
+            on_complete=self._on_complete,
+            on_deliver=self.on_deliver,
+        )
+
+    def _on_complete(self, conn, now: float) -> None:
+        if self.tracker is not None:
+            self.tracker.on_complete(conn, now)
+        self._start_next()
+
+
+def run_wct(
+    entities: Sequence[EntitySpec],
+    approach: str,
+    volume_bytes: Dict[str, int],
+    bottleneck_bps: float = gbps(10),
+    max_sim_time: float = 5.0,
+    seed: int = 1,
+    aq_limit_bytes: Optional[float] = None,
+    arrival_window: Optional[float] = None,
+) -> WctResult:
+    """Entities run fixed-volume web-search workloads; measure completion.
+
+    Flows arrive over ``arrival_window`` (defaulting to the time the
+    entity's fair share needs to drain its volume, so offered load tracks
+    the allocation) on random VMs; each VM runs its queue FIFO, one flow
+    at a time. The entity's "workload completion time" is when its last
+    flow finishes (paper Sections 5.2-5.3).
+    """
+    dumbbell, src_hosts, dst_hosts = _build_dumbbell_for(
+        entities, approach, bottleneck_bps, seed
+    )
+    network = dumbbell.network
+    env = install_sharing(
+        network,
+        Dumbbell.LEFT_SWITCH,
+        bottleneck_bps,
+        entities,
+        approach,
+        src_hosts,
+        dst_hosts,
+        aq_limit_bytes=aq_limit_bytes,
+    )
+
+    trackers: Dict[str, CompletionTracker] = {}
+    for spec in entities:
+        workload = EntityWorkload(
+            name=spec.name,
+            sources=src_hosts[spec.name],
+            destinations=dst_hosts[spec.name],
+        )
+        rng = network.rng.stream(f"workload:{spec.name}")
+        window = arrival_window
+        if window is None:
+            # Offered load slightly above the entity's fair share, so the
+            # entity stays backlogged and its completion time reflects the
+            # bandwidth it actually received (not its workload draw).
+            window = 0.85 * volume_bytes[spec.name] * 8.0 / env.share_bps[spec.name]
+        queues = workload.vm_job_queues(
+            rng,
+            volume_bytes[spec.name],
+            arrival_window=window,
+            start_time=spec.start_time,
+        )
+        total_flows = sum(len(q) for q in queues.values())
+        tracker = CompletionTracker(expected=total_flows)
+        trackers[spec.name] = tracker
+        ingress_id = env.aq_ingress_id(spec.name)
+        for flows in queues.values():
+            if flows:
+                _VmQueueRunner(
+                    network,
+                    lambda name=spec.name: env.make_cc(name),
+                    flows,
+                    tracker=tracker,
+                    ingress_id=ingress_id,
+                )
+
+    chunk = max_sim_time / 200.0
+    while network.sim.now < max_sim_time:
+        if all(tracker.all_done for tracker in trackers.values()):
+            break
+        network.run(until=min(network.sim.now + chunk, max_sim_time))
+
+    wct: Dict[str, float] = {}
+    completed: Dict[str, bool] = {}
+    for name, tracker in trackers.items():
+        completed[name] = tracker.all_done
+        wct[name] = (
+            tracker.workload_completion_time() if tracker.all_done else float("inf")
+        )
+    return WctResult(
+        approach=approach,
+        wct=wct,
+        completed=completed,
+        total_wct=max(wct.values()),
+    )
+
+
+def run_single_entity_wct(
+    num_vms: int,
+    approach: str,
+    volume_bytes: int,
+    bottleneck_bps: float = gbps(10),
+    max_sim_time: float = 5.0,
+    seed: int = 1,
+    cc: str = "cubic",
+) -> float:
+    """Figure 6: one entity, ``num_vms`` VMs, normalized elsewhere."""
+    spec = EntitySpec(name="A", cc=cc, num_vms=num_vms)
+    result = run_wct(
+        [spec],
+        approach,
+        {"A": volume_bytes},
+        bottleneck_bps=bottleneck_bps,
+        max_sim_time=max_sim_time,
+        seed=seed,
+    )
+    return result.wct["A"]
+
+
+def run_two_entity_fairness(
+    num_vms_b: int,
+    approach: str,
+    volume_bytes: int,
+    bottleneck_bps: float = gbps(10),
+    max_sim_time: float = 5.0,
+    seed: int = 1,
+    cc: str = "cubic",
+) -> WctResult:
+    """Figure 7: entity A (1 VM) vs entity B (``num_vms_b`` VMs), equal
+    weights, equal workload volumes."""
+    entities = [
+        EntitySpec(name="A", cc=cc, num_vms=1),
+        EntitySpec(name="B", cc=cc, num_vms=num_vms_b),
+    ]
+    return run_wct(
+        entities,
+        approach,
+        {"A": volume_bytes, "B": volume_bytes},
+        bottleneck_bps=bottleneck_bps,
+        max_sim_time=max_sim_time,
+        seed=seed,
+    )
+
+
+def run_cc_pair_wct(
+    cc_a: str,
+    cc_b: str,
+    approach: str,
+    volume_bytes: int,
+    num_vms: int = 4,
+    bottleneck_bps: float = gbps(10),
+    max_sim_time: float = 5.0,
+    seed: int = 1,
+) -> WctResult:
+    """Figure 10: two 4-VM entities with different CCs, equal volumes."""
+    entities = [
+        EntitySpec(name="A", cc=cc_a, num_vms=num_vms),
+        EntitySpec(name="B", cc=cc_b, num_vms=num_vms),
+    ]
+    return run_wct(
+        entities,
+        approach,
+        {"A": volume_bytes, "B": volume_bytes},
+        bottleneck_bps=bottleneck_bps,
+        max_sim_time=max_sim_time,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# VM bi-directional profile experiment (Table 3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VmProfileResult:
+    """Rate ranges of the profiled VM (Table 3's row format)."""
+
+    approach: str
+    outbound_range_bps: Tuple[float, float]
+    inbound_range_bps: Tuple[float, float]
+    outbound_mean_bps: float
+    inbound_mean_bps: float
+
+
+def run_vm_profile(
+    approach: str,
+    link_rate_bps: float = gbps(25),
+    profile_rate_bps: float = gbps(5),
+    duration: float = 0.2,
+    warmup_fraction: float = 0.3,
+    demand_factor: float = 1.5,
+    seed: int = 1,
+    cc: str = "cubic",
+) -> VmProfileResult:
+    """Table 3: star of 4 VMs; VM A has a 5 Gbps in / 5 Gbps out profile.
+
+    VM A sends web-search traffic to B, C, D, and B, C, D all send to A —
+    each pair runs an M/G/1-style job queue offering ``demand_factor`` x
+    the profile rate, so A's inbound (and outbound) demand is ~3 x
+    ``demand_factor`` x its profile: far more than the profile allows.
+    """
+    star = Star(
+        StarConfig(
+            num_hosts=4,
+            link_rate_bps=link_rate_bps,
+            queue_config=QueueConfig(limit_bytes=queue_limit_bytes()),
+            seed=seed,
+        )
+    )
+    network = star.network
+    vm_a, vm_b, vm_c, vm_d = star.hosts
+    others = [vm_b, vm_c, vm_d]
+    sim = network.sim
+
+    out_grants: Dict[str, int] = {}
+    in_grants: Dict[str, int] = {}
+    if approach == AQ:
+        controller = AqController(network)
+        for vm in star.hosts:
+            controller.register_resource(f"up:{vm}", link_rate_bps)
+            controller.register_resource(f"down:{vm}", link_rate_bps)
+            out_grant = controller.request(
+                AqRequest(
+                    entity=f"{vm}:out",
+                    switch=Star.SWITCH,
+                    position="ingress",
+                    absolute_rate_bps=profile_rate_bps,
+                    share_group=f"up:{vm}",
+                    policy=drop_policy(),
+                    limit_bytes=queue_limit_bytes(),
+                )
+            )
+            in_grant = controller.request(
+                AqRequest(
+                    entity=f"{vm}:in",
+                    switch=Star.SWITCH,
+                    position="egress",
+                    absolute_rate_bps=profile_rate_bps,
+                    share_group=f"down:{vm}",
+                    policy=drop_policy(),
+                    limit_bytes=queue_limit_bytes(),
+                )
+            )
+            out_grants[vm] = out_grant.aq_id
+            in_grants[vm] = in_grant.aq_id
+    elif approach == PRL:
+        for vm in star.hosts:
+            host = network.hosts[vm]
+            host.install_shaper(
+                TokenBucketShaper(sim, profile_rate_bps, host.forward_to_nic)
+            )
+    elif approach == DRL:
+        es = ElasticSwitch(network, link_capacity_bps=link_rate_bps)
+        for vm in star.hosts:
+            es.add_vm(VmProfile(vm, profile_rate_bps, profile_rate_bps))
+        es.start()
+    elif approach != PQ:
+        raise ConfigurationError(f"unknown approach {approach!r}")
+
+    meter_interval = duration / 40.0
+    out_meter = ThroughputMeter(sim, meter_interval, name="A:out")
+    in_meter = ThroughputMeter(sim, meter_interval, name="A:in")
+
+    from ..cc.registry import make_cc
+
+    def launch(src: str, dst: str, stream: str, meter) -> None:
+        """One VM pair's web-search job queue: flows arrive over the whole
+        experiment at ``demand_factor`` x the profile rate and execute
+        FIFO, so demand is bursty (exercising DRL's adjustment lag) but
+        sustained well above the profile."""
+        workload = EntityWorkload(name=stream, sources=[src], destinations=[dst])
+        rng = network.rng.stream(stream)
+        volume = int(demand_factor * profile_rate_bps * duration / 8)
+        queues = workload.vm_job_queues(rng, volume, arrival_window=duration)
+        _VmQueueRunner(
+            network,
+            lambda: make_cc(cc),
+            queues[src],
+            ingress_id=out_grants.get(src, 0),
+            egress_id_for={dst: in_grants.get(dst, 0)},
+            on_deliver=meter.add,
+        )
+
+    # VM A -> B, C, D (outbound demand ~3x its profile)...
+    for peer in others:
+        launch(vm_a, peer, f"out:{peer}", out_meter)
+    # ...and B, C, D -> A (inbound demand ~3x A's profile).
+    for peer in others:
+        launch(peer, vm_a, f"in:{peer}", in_meter)
+
+    network.run(until=duration)
+
+    after = duration * warmup_fraction
+    return VmProfileResult(
+        approach=approach,
+        outbound_range_bps=out_meter.rate_range(after=after),
+        inbound_range_bps=in_meter.rate_range(after=after),
+        outbound_mean_bps=out_meter.mean_rate(after=after),
+        inbound_mean_bps=in_meter.mean_rate(after=after),
+    )
+
+
+# ---------------------------------------------------------------------------
+# CC-behaviour preservation (Table 4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PreservationResult:
+    """Throughput + 95th-percentile queuing delay of one configuration."""
+
+    label: str
+    throughput_bps: float
+    delay_p95: float
+
+
+def run_cc_preservation(
+    cc: str,
+    use_aq: bool,
+    allocated_bps: float = gbps(2.5),
+    capacity_bps: float = gbps(10),
+    num_flows: int = 5,
+    duration: float = 80e-3,
+    warmup: float = 30e-3,
+    seed: int = 1,
+) -> PreservationResult:
+    """Table 4: an entity allocated R inside a C-capacity fabric under AQ
+    should behave like the same entity on a dedicated R-capacity fabric
+    under PQ — same throughput, same (virtual) queuing-delay distribution.
+    """
+    bottleneck = allocated_bps if not use_aq else capacity_bps
+    spec = EntitySpec(name="E", cc=cc, num_flows=num_flows)
+    queue_config = QueueConfig(
+        limit_bytes=queue_limit_bytes(),
+        ecn_threshold_bytes=(
+            ecn_threshold_bytes(allocated_bps)
+            if (cc.lower() == "dctcp" and not use_aq)
+            else None
+        ),
+        collect_delays=not use_aq,
+    )
+    dumbbell = Dumbbell(
+        DumbbellConfig(
+            num_left=1,
+            num_right=1,
+            bottleneck_rate_bps=bottleneck,
+            queue_config=queue_config,
+            seed=seed,
+        )
+    )
+    network = dumbbell.network
+    aq_id = 0
+    aq_obj = None
+    if use_aq:
+        controller = AqController(network)
+        controller.register_resource("bottleneck", capacity_bps)
+        policy = drop_policy()
+        if cc.lower() == "dctcp":
+            policy = ecn_policy(ecn_threshold_bytes(allocated_bps))
+        elif cc.lower() == "swift":
+            from ..core.feedback import delay_policy
+
+            policy = delay_policy()
+        grant = controller.request(
+            AqRequest(
+                entity="E",
+                switch=Dumbbell.LEFT_SWITCH,
+                position="ingress",
+                absolute_rate_bps=allocated_bps,
+                share_group="bottleneck",
+                policy=policy,
+                limit_bytes=queue_limit_bytes(),
+                record_delays=True,
+            )
+        )
+        aq_id = grant.aq_id
+        aq_obj = grant.aq
+
+    meter = ThroughputMeter(network.sim, duration / 50.0, name="E")
+    from ..cc.registry import make_cc
+    from .common import swift_target_delay
+
+    for _ in range(num_flows):
+        if cc.lower() == "swift":
+            flow_cc = make_cc(
+                "swift",
+                target_delay=swift_target_delay(allocated_bps),
+                use_virtual_delay=use_aq,
+            )
+        else:
+            flow_cc = make_cc(cc)
+        TcpConnection(
+            network,
+            "h-l0",
+            "h-r0",
+            flow_cc,
+            size_bytes=None,
+            aq_ingress_id=aq_id,
+            on_deliver=meter.add,
+        )
+
+    network.run(until=duration)
+
+    throughput = meter.mean_rate(after=warmup)
+    if use_aq:
+        assert aq_obj is not None
+        samples = aq_obj.stats.delay_samples
+    else:
+        samples = dumbbell.bottleneck_port.queue.stats.queuing_delays
+    # Skip the slow-start transient: only keep the steady-state tail.
+    steady = samples[len(samples) // 3 :] if samples else [0.0]
+    delay_p95 = percentile(steady, 95.0)
+    label = f"{cc}/{'AQ' if use_aq else 'PQ'}"
+    return PreservationResult(label=label, throughput_bps=throughput, delay_p95=delay_p95)
+
+
+# ---------------------------------------------------------------------------
+# Fig 9: staggered UDP/TCP entities under weighted AQ reallocation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TimelineResult:
+    """Per-entity throughput time series."""
+
+    approach: str
+    series: Dict[str, List[Tuple[float, float]]]
+    rates_in_window: Dict[str, Dict[str, float]]
+
+
+def run_udp_tcp_timeline(
+    approach: str,
+    bottleneck_bps: float = gbps(10),
+    phase: float = 40e-3,
+    seed: int = 1,
+    reallocation_interval: float = 5e-3,
+) -> TimelineResult:
+    """Figure 9: four TCP entities join staggered, then a UDP blaster joins
+    and leaves. Under PQ the UDP entity starves everyone; under weighted AQ
+    each of the n active entities holds ~1/n of the bottleneck.
+
+    Timeline (in units of ``phase``): TCP entities T1..T4 start at 0, 1x,
+    2x, 3x; UDP starts at 4x and stops at 6x; run ends at 7x.
+    """
+    entities = [
+        EntitySpec(name="T1", cc="cubic", num_flows=1, start_time=0.0),
+        EntitySpec(name="T2", cc="cubic", num_flows=1, start_time=phase),
+        EntitySpec(name="T3", cc="cubic", num_flows=1, start_time=2 * phase),
+        EntitySpec(name="T4", cc="cubic", num_flows=1, start_time=3 * phase),
+        EntitySpec(
+            name="U",
+            cc="udp",
+            num_flows=1,
+            start_time=4 * phase,
+            stop_time=6 * phase,
+        ),
+    ]
+    duration = 7 * phase
+    result = run_longlived_share(
+        entities,
+        approach,
+        bottleneck_bps=bottleneck_bps,
+        duration=duration,
+        warmup=phase / 2,
+        seed=seed,
+        meter_interval=phase / 10.0,
+        enable_reallocation=(approach == AQ),
+        reallocation_interval=reallocation_interval,
+    )
+    # Mean rate of each entity during each phase's second half (settled).
+    windows = {}
+    for k in range(7):
+        lo = k * phase + 0.5 * phase
+        hi = (k + 1) * phase
+        windows[f"phase{k}"] = {
+            name: meter.mean_rate(after=lo, before=hi)
+            for name, meter in result.meters.items()
+        }
+    series = {name: list(meter.samples) for name, meter in result.meters.items()}
+    return TimelineResult(
+        approach=approach, series=series, rates_in_window=windows
+    )
+
+
+# ---------------------------------------------------------------------------
+# Small-flow protection (the Section 1/2 motivation, measured as FCT)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FctResult:
+    """Victim entity's FCT statistics under contention."""
+
+    approach: str
+    p50_slowdown: float
+    p99_slowdown: float
+    mean_slowdown: float
+    completed_flows: int
+
+
+def run_small_flow_protection(
+    approach: str,
+    bottleneck_bps: float = gbps(2),
+    victim_load_fraction: float = 0.2,
+    duration: float = 0.1,
+    seed: int = 1,
+    cc: str = "cubic",
+) -> FctResult:
+    """One latency-sensitive entity sends small web-search flows at a
+    light load while an aggressive UDP entity blasts at line rate.
+
+    Under PQ the victim's flows queue behind the blaster (the paper's
+    "throughput can vary by an order of magnitude" motivation); with
+    weighted AQs the victim's small flows see only its own traffic. The
+    FCT slowdown is measured against the victim's allocated share.
+    """
+    entities = [
+        EntitySpec(name="victim", cc=cc, weight=1.0),
+        EntitySpec(name="blaster", cc="udp", weight=1.0),
+    ]
+    dumbbell, src_hosts, dst_hosts = _build_dumbbell_for(
+        entities, approach, bottleneck_bps, seed
+    )
+    network = dumbbell.network
+    env = install_sharing(
+        network,
+        Dumbbell.LEFT_SWITCH,
+        bottleneck_bps,
+        entities,
+        approach,
+        src_hosts,
+        dst_hosts,
+    )
+
+    from ..stats.fct import FctCollector
+    from ..workloads.websearch import websearch_distribution
+
+    share = env.share_bps["victim"]
+    collector = FctCollector(
+        reference_rate_bps=share, base_rtt=dumbbell.base_rtt()
+    )
+    rng = network.rng.stream("victim-flows")
+    distribution = websearch_distribution()
+    victim_src = src_hosts["victim"][0]
+    victim_dst = dst_hosts["victim"][0]
+    ingress_id = env.aq_ingress_id("victim")
+
+    # Open-loop Poisson small-flow arrivals at a light load.
+    mean_bytes = distribution.mean_bytes(samples=2000)
+    arrival_rate = victim_load_fraction * share / (mean_bytes * 8.0)
+    t = 0.0
+    while True:
+        t += rng.expovariate(arrival_rate)
+        if t >= duration * 0.8:  # leave time for the tail to finish
+            break
+        size = distribution.sample_bytes(rng)
+        TcpConnection(
+            network,
+            victim_src,
+            victim_dst,
+            env.make_cc("victim"),
+            size_bytes=size,
+            start_time=t,
+            aq_ingress_id=ingress_id,
+            on_complete=collector.on_complete_hook(size),
+        )
+
+    # The blaster: UDP at the bottleneck line rate.
+    UdpFlow(
+        network,
+        src_hosts["blaster"][0],
+        dst_hosts["blaster"][0],
+        rate_bps=bottleneck_bps,
+        aq_ingress_id=env.aq_ingress_id("blaster"),
+    )
+
+    network.run(until=duration)
+    slowdowns = collector.slowdowns()
+    if not slowdowns:
+        raise ConfigurationError("no victim flows completed; extend duration")
+    return FctResult(
+        approach=approach,
+        p50_slowdown=percentile(slowdowns, 50.0),
+        p99_slowdown=percentile(slowdowns, 99.0),
+        mean_slowdown=sum(slowdowns) / len(slowdowns),
+        completed_flows=len(slowdowns),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations (Section 6)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LimitAblationResult:
+    limit_bytes: float
+    rate_bps: float
+    drop_fraction: float
+
+
+def run_limit_ablation(
+    limits_bytes: Sequence[float],
+    cc: str = "cubic",
+    allocated_bps: float = gbps(2.5),
+    capacity_bps: float = gbps(10),
+    duration: float = 60e-3,
+    warmup: float = 20e-3,
+    seed: int = 1,
+) -> List[LimitAblationResult]:
+    """Section 6 "AQ limit configurations": sweep the AQ limit and observe
+    achieved rate vs drops — small limits cause excess drops that keep the
+    entity below its allocation."""
+    results = []
+    for limit in limits_bytes:
+        spec = EntitySpec(name="E", cc=cc, num_flows=4)
+        dumbbell, src_hosts, dst_hosts = _build_dumbbell_for(
+            [spec], AQ, capacity_bps, seed
+        )
+        network = dumbbell.network
+        controller = AqController(network)
+        controller.register_resource("bottleneck", capacity_bps)
+        grant = controller.request(
+            AqRequest(
+                entity="E",
+                switch=Dumbbell.LEFT_SWITCH,
+                position="ingress",
+                absolute_rate_bps=allocated_bps,
+                share_group="bottleneck",
+                policy=drop_policy(),
+                limit_bytes=limit,
+            )
+        )
+        meter = ThroughputMeter(network.sim, duration / 40.0)
+        from ..cc.registry import make_cc
+
+        for i in range(spec.num_flows):
+            TcpConnection(
+                network,
+                src_hosts["E"][0],
+                dst_hosts["E"][0],
+                make_cc(cc),
+                aq_ingress_id=grant.aq_id,
+                on_deliver=meter.add,
+            )
+        network.run(until=duration)
+        stats = grant.aq.stats
+        drop_fraction = (
+            stats.dropped_packets / stats.arrived_packets
+            if stats.arrived_packets
+            else 0.0
+        )
+        results.append(
+            LimitAblationResult(
+                limit_bytes=limit,
+                rate_bps=meter.mean_rate(after=warmup),
+                drop_fraction=drop_fraction,
+            )
+        )
+    return results

@@ -1,0 +1,115 @@
+"""Hypervisor-side AQ ID tagging (paper Section 4.1).
+
+After the controller grants an AQ, *"the tenant needs to tag the AQ ID
+into the header of packets. ... Either the VM hypervisor in each end host
+or applications of tenants can perform this tagging operation."* So far
+the harness plays the application role, stamping IDs at connection setup;
+:class:`Hypervisor` plays the infrastructure role instead: it sits on a
+host's transmit path and tags every outgoing packet from its policy
+table — transports stay completely AQ-unaware.
+
+Policies:
+
+* a host-wide *ingress* AQ ID (the host's/VM's outbound entity), and
+* a per-destination *egress* AQ ID map (the destination VM's inbound AQ,
+  which the sender must stamp since the egress pipeline matches on it).
+
+Already-tagged packets pass through untouched, so applications that
+manage their own IDs coexist with hypervisor-managed ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from .host import Host
+from .packet import NO_AQ, Packet
+
+
+class Hypervisor:
+    """Tags AQ IDs onto a host's outgoing packets."""
+
+    def __init__(self, host: Host) -> None:
+        if host.on_transmit is not None:
+            raise ConfigurationError(
+                f"host {host.name} already has a transmit hook"
+            )
+        self.host = host
+        self.outbound_aq_id = NO_AQ
+        self._egress_for_dst: Dict[str, int] = {}
+        self.tagged_packets = 0
+        host.on_transmit = self._tag
+
+    # -- policy -----------------------------------------------------------------
+
+    def set_outbound(self, aq_id: int) -> None:
+        """All traffic this host originates belongs to this ingress AQ."""
+        if aq_id < 0:
+            raise ConfigurationError(f"AQ id must be >= 0, got {aq_id}")
+        self.outbound_aq_id = aq_id
+
+    def set_inbound_of(self, dst: str, aq_id: int) -> None:
+        """Traffic toward ``dst`` must carry ``dst``'s egress AQ ID."""
+        if aq_id < 0:
+            raise ConfigurationError(f"AQ id must be >= 0, got {aq_id}")
+        self._egress_for_dst[dst] = aq_id
+
+    def clear_inbound_of(self, dst: str) -> None:
+        self._egress_for_dst.pop(dst, None)
+
+    # -- data path -----------------------------------------------------------------
+
+    def _tag(self, packet: Packet) -> None:
+        tagged = False
+        if packet.aq_ingress_id == NO_AQ and self.outbound_aq_id != NO_AQ:
+            packet.aq_ingress_id = self.outbound_aq_id
+            tagged = True
+        if packet.aq_egress_id == NO_AQ:
+            egress = self._egress_for_dst.get(packet.dst, NO_AQ)
+            if egress != NO_AQ:
+                packet.aq_egress_id = egress
+                tagged = True
+        if tagged:
+            self.tagged_packets += 1
+
+
+def deploy_vm_profiles(controller, star, profile_rate_bps: float,
+                       limit_bytes: float) -> Dict[str, Hypervisor]:
+    """Convenience: give every host of a :class:`~repro.topology.star.Star`
+    a bi-directional profile (ingress+egress AQs at the ToR, Table 3
+    style) and install hypervisors that tag all traffic accordingly.
+
+    Returns the per-host hypervisors. Mirrors the Figure 2 deployment with
+    zero per-connection wiring.
+    """
+    from ..core.controller import AqRequest
+    from ..core.feedback import drop_policy
+
+    out_ids: Dict[str, int] = {}
+    in_ids: Dict[str, int] = {}
+    for vm in star.hosts:
+        controller.register_resource(f"up:{vm}", star.config.link_rate_bps)
+        controller.register_resource(f"down:{vm}", star.config.link_rate_bps)
+        out_ids[vm] = controller.request(
+            AqRequest(entity=f"{vm}:out", switch=star.SWITCH,
+                      position="ingress", absolute_rate_bps=profile_rate_bps,
+                      share_group=f"up:{vm}", policy=drop_policy(),
+                      limit_bytes=limit_bytes)
+        ).aq_id
+        in_ids[vm] = controller.request(
+            AqRequest(entity=f"{vm}:in", switch=star.SWITCH,
+                      position="egress", absolute_rate_bps=profile_rate_bps,
+                      share_group=f"down:{vm}", policy=drop_policy(),
+                      limit_bytes=limit_bytes)
+        ).aq_id
+
+    hypervisors: Dict[str, Hypervisor] = {}
+    for vm in star.hosts:
+        hypervisor = Hypervisor(star.network.hosts[vm])
+        hypervisor.set_outbound(out_ids[vm])
+        for peer in star.hosts:
+            if peer != vm:
+                hypervisor.set_inbound_of(peer, in_ids[peer])
+        hypervisors[vm] = hypervisor
+    return hypervisors

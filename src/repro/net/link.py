@@ -1,0 +1,136 @@
+"""Links and transmitters.
+
+The sending side of every port is a :class:`Transmitter`: it owns a queue
+discipline and a :class:`Link`, dequeues whenever the line is idle, runs the
+port's *egress pipeline hooks* (where egress-position AQs live, matching
+Tofino's ingress → traffic manager → egress layout), serializes the packet
+at line rate, and hands it to the link, which applies propagation delay and
+delivers to the remote handler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import ConfigurationError
+from ..units import transmission_time
+from .packet import Packet
+
+#: An egress/ingress pipeline hook: ``hook(packet, now) -> bool``.
+#: Returning ``False`` drops the packet (it has already left the queue).
+PipelineHook = Callable[[Packet, float], bool]
+
+
+class LinkStats:
+    """Delivery counters for one simplex link."""
+
+    __slots__ = ("delivered_packets", "delivered_bytes", "busy_time")
+
+    def __init__(self) -> None:
+        self.delivered_packets = 0
+        self.delivered_bytes = 0
+        self.busy_time = 0.0
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of ``duration`` the line spent serializing packets."""
+        if duration <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / duration)
+
+
+class Link:
+    """A simplex wire: fixed rate, fixed propagation delay, one receiver."""
+
+    __slots__ = ("sim", "rate_bps", "prop_delay", "_handler", "name", "stats")
+
+    def __init__(
+        self,
+        sim,
+        rate_bps: float,
+        prop_delay: float,
+        handler: Callable[[Packet], None],
+        name: str = "",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError(f"link rate must be positive, got {rate_bps}")
+        if prop_delay < 0:
+            raise ConfigurationError(f"propagation delay must be >= 0, got {prop_delay}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.prop_delay = prop_delay
+        self._handler = handler
+        self.name = name
+        self.stats = LinkStats()
+
+    def deliver(self, packet: Packet) -> None:
+        """Deliver a fully-serialized packet after propagation delay."""
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += packet.size
+        self.sim.schedule(self.prop_delay, self._handler, packet)
+
+
+class Transmitter:
+    """Pulls packets from a queue and serializes them onto a link."""
+
+    def __init__(
+        self,
+        sim,
+        queue,
+        link: Link,
+        egress_hooks: Optional[List[PipelineHook]] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.queue = queue
+        self.link = link
+        self.egress_hooks: List[PipelineHook] = list(egress_hooks or [])
+        self.name = name
+        self._busy = False
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def add_egress_hook(self, hook: PipelineHook) -> None:
+        self.egress_hooks.append(hook)
+
+    def offer(self, packet: Packet) -> bool:
+        """Enqueue ``packet`` and start transmitting if the line is idle.
+
+        Returns ``False`` when the queue discipline dropped the packet.
+        """
+        accepted = self.queue.enqueue(packet, self.sim.now)
+        if accepted and not self._busy:
+            self._start_next()
+        return accepted
+
+    def kick(self) -> None:
+        """Restart transmission if idle (used after out-of-band enqueues)."""
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        now = self.sim.now
+        while True:
+            packet = self.queue.dequeue(now)
+            if packet is None:
+                self._busy = False
+                return
+            if self._run_egress(packet, now):
+                break
+            # Hook dropped the packet after dequeue (egress policing); pull
+            # the next one immediately.
+        self._busy = True
+        tx_time = transmission_time(packet.size, self.link.rate_bps)
+        self.link.stats.busy_time += tx_time
+        self.sim.schedule(tx_time, self._finish, packet)
+
+    def _run_egress(self, packet: Packet, now: float) -> bool:
+        for hook in self.egress_hooks:
+            if not hook(packet, now):
+                return False
+        return True
+
+    def _finish(self, packet: Packet) -> None:
+        self.link.deliver(packet)
+        self._start_next()

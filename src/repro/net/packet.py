@@ -1,0 +1,162 @@
+"""Packet model.
+
+A single mutable ``Packet`` class models data, ACK, and UDP datagrams. The
+header carries everything the paper's data plane needs:
+
+* the usual 5-tuple surrogate (``src``, ``dst``, ``flow_id``),
+* transport fields (``seq``, ``ack``, ``fin``),
+* ECN bits: ``ect`` (ECN-capable transport), ``ce`` (congestion
+  experienced, set by queues/AQs), ``ece`` (echo, set by receivers on ACKs),
+* the two AQ ID fields of Section 4.1 (``aq_ingress_id``/``aq_egress_id``;
+  ``0`` is the default value meaning "no AQ at this position"),
+* ``virtual_delay`` — the per-hop accumulated virtual queuing delay the AQ
+  abstraction piggybacks for delay-based CCs (Section 3.3.2), and its echo
+  on ACKs (``echo_virtual_delay``).
+
+Packets are mutated in place along the path (exactly like real headers) and
+never shared between two in-flight copies: retransmissions construct fresh
+packets.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+#: Packet kinds. Plain ints (not Enum) — this is the hottest object in the
+#: simulator and enum identity checks measurably slow the loop.
+DATA = 0
+ACK = 1
+UDP = 2
+
+_KIND_NAMES = {DATA: "DATA", ACK: "ACK", UDP: "UDP"}
+
+#: Default AQ ID header value meaning "no AQ deployed at this position".
+NO_AQ = 0
+
+_packet_ids = itertools.count(1)
+
+
+class Packet:
+    """One simulated packet. See module docstring for field semantics."""
+
+    __slots__ = (
+        "packet_id",
+        "kind",
+        "src",
+        "dst",
+        "flow_id",
+        "size",
+        "seq",
+        "ack",
+        "fin",
+        "ect",
+        "ce",
+        "ece",
+        "aq_ingress_id",
+        "aq_egress_id",
+        "virtual_delay",
+        "echo_virtual_delay",
+        "sent_time",
+        "enqueue_time",
+        "retransmission",
+    )
+
+    def __init__(
+        self,
+        kind: int,
+        src: str,
+        dst: str,
+        flow_id: int,
+        size: int,
+        seq: int = 0,
+        ack: int = 0,
+        fin: bool = False,
+        ect: bool = False,
+        aq_ingress_id: int = NO_AQ,
+        aq_egress_id: int = NO_AQ,
+        retransmission: bool = False,
+    ) -> None:
+        self.packet_id = next(_packet_ids)
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.flow_id = flow_id
+        self.size = size
+        self.seq = seq
+        self.ack = ack
+        self.fin = fin
+        self.ect = ect
+        self.ce = False
+        self.ece = False
+        self.aq_ingress_id = aq_ingress_id
+        self.aq_egress_id = aq_egress_id
+        self.virtual_delay = 0.0
+        self.echo_virtual_delay = 0.0
+        self.sent_time = 0.0
+        self.enqueue_time = 0.0
+        self.retransmission = retransmission
+
+    @property
+    def is_ack(self) -> bool:
+        return self.kind == ACK
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind == DATA
+
+    def mark_ce(self) -> None:
+        """Set Congestion Experienced if the transport is ECN-capable."""
+        if self.ect:
+            self.ce = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = _KIND_NAMES.get(self.kind, str(self.kind))
+        return (
+            f"<Packet #{self.packet_id} {kind} {self.src}->{self.dst} "
+            f"flow={self.flow_id} seq={self.seq} size={self.size}>"
+        )
+
+
+def make_data(
+    src: str,
+    dst: str,
+    flow_id: int,
+    seq: int,
+    size: int,
+    ect: bool = False,
+    fin: bool = False,
+    retransmission: bool = False,
+) -> Packet:
+    """Convenience constructor for a TCP data segment."""
+    return Packet(
+        DATA,
+        src,
+        dst,
+        flow_id,
+        size,
+        seq=seq,
+        fin=fin,
+        ect=ect,
+        retransmission=retransmission,
+    )
+
+
+def make_ack(
+    src: str,
+    dst: str,
+    flow_id: int,
+    ack: int,
+    size: int,
+    ece: bool = False,
+    echo_virtual_delay: float = 0.0,
+) -> Packet:
+    """Convenience constructor for a pure acknowledgement."""
+    packet = Packet(ACK, src, dst, flow_id, size, ack=ack)
+    packet.ece = ece
+    packet.echo_virtual_delay = echo_virtual_delay
+    return packet
+
+
+def make_udp(src: str, dst: str, flow_id: int, size: int) -> Packet:
+    """Convenience constructor for a UDP datagram."""
+    return Packet(UDP, src, dst, flow_id, size)

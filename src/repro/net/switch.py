@@ -1,0 +1,108 @@
+"""Output-queued switch with programmable ingress/egress pipelines.
+
+The model mirrors the paper's deployment surface (Section 4.2):
+
+* **ingress pipeline hooks** run when a packet arrives at the switch,
+  before it is placed in the output port's physical FIFO queue — this is
+  where ingress-position AQs match on ``aq_ingress_id``;
+* **egress pipeline hooks** run at dequeue time on the output port's
+  transmitter (see :class:`~repro.net.link.Transmitter`) — this is where
+  egress-position AQs match on ``aq_egress_id``.
+
+Forwarding is static next-hop routing installed by the topology builder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ConfigurationError, RoutingError
+from ..queues.base import QueueDiscipline
+from .link import Link, PipelineHook, Transmitter
+from .packet import Packet
+
+
+class SwitchPort:
+    """One output port: a physical queue plus the line's transmitter."""
+
+    def __init__(self, sim, name: str, queue: QueueDiscipline, link: Link) -> None:
+        self.name = name
+        self.queue = queue
+        self.link = link
+        self.transmitter = Transmitter(sim, queue, link, name=name)
+
+    def add_egress_hook(self, hook: PipelineHook) -> None:
+        self.transmitter.add_egress_hook(hook)
+
+
+class SwitchStats:
+    """Aggregate forwarding counters."""
+
+    __slots__ = ("received_packets", "forwarded_packets", "ingress_dropped_packets")
+
+    def __init__(self) -> None:
+        self.received_packets = 0
+        self.forwarded_packets = 0
+        self.ingress_dropped_packets = 0
+
+
+class Switch:
+    """A store-and-forward switch with per-port FIFO queues."""
+
+    def __init__(self, sim, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.ports: Dict[str, SwitchPort] = {}
+        self._routes: Dict[str, SwitchPort] = {}
+        self.ingress_hooks: List[PipelineHook] = []
+        self.stats = SwitchStats()
+        #: Observers called for every packet accepted for forwarding.
+        self.taps: List[Callable[[Packet], None]] = []
+
+    # -- wiring ------------------------------------------------------------------
+
+    def add_port(self, port_name: str, queue: QueueDiscipline, link: Link) -> SwitchPort:
+        if port_name in self.ports:
+            raise ConfigurationError(f"switch {self.name} already has port {port_name}")
+        port = SwitchPort(self.sim, f"{self.name}.{port_name}", queue, link)
+        self.ports[port_name] = port
+        return port
+
+    def add_route(self, dst: str, port_name: str) -> None:
+        port = self.ports.get(port_name)
+        if port is None:
+            raise ConfigurationError(
+                f"switch {self.name} has no port {port_name} for route to {dst}"
+            )
+        self._routes[dst] = port
+
+    def route_for(self, dst: str, packet: Optional[Packet] = None) -> SwitchPort:
+        """Next-hop lookup. The packet is passed so multi-path variants
+        (ECMP in :mod:`repro.topology.leafspine`) can hash on flow fields;
+        the base implementation ignores it."""
+        port = self._routes.get(dst)
+        if port is None:
+            raise RoutingError(f"switch {self.name} has no route to {dst}")
+        return port
+
+    def add_ingress_hook(self, hook: PipelineHook) -> None:
+        self.ingress_hooks.append(hook)
+
+    def add_tap(self, tap: Callable[[Packet], None]) -> None:
+        self.taps.append(tap)
+
+    # -- data path ------------------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        """Link-delivery handler: ingress pipeline, route, enqueue."""
+        self.stats.received_packets += 1
+        now = self.sim.now
+        for hook in self.ingress_hooks:
+            if not hook(packet, now):
+                self.stats.ingress_dropped_packets += 1
+                return
+        port = self.route_for(packet.dst, packet)
+        for tap in self.taps:
+            tap(packet)
+        self.stats.forwarded_packets += 1
+        port.transmitter.offer(packet)

@@ -1,0 +1,41 @@
+"""Queue discipline interface shared by physical queues.
+
+A queue here is purely a buffering discipline; (de)queueing cadence is driven
+by the :class:`~repro.net.link.Transmitter` that owns it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from ..net.packet import Packet
+
+
+class QueueDiscipline(ABC):
+    """Abstract buffering discipline for an output port."""
+
+    @abstractmethod
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        """Offer ``packet`` at time ``now``. Returns ``False`` if dropped."""
+
+    @abstractmethod
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Remove and return the next packet, or ``None`` when empty."""
+
+    @property
+    @abstractmethod
+    def bytes_queued(self) -> int:
+        """Current backlog in bytes."""
+
+    @property
+    @abstractmethod
+    def packets_queued(self) -> int:
+        """Current backlog in packets."""
+
+    def __len__(self) -> int:
+        return self.packets_queued
+
+    @property
+    def is_empty(self) -> bool:
+        return self.packets_queued == 0

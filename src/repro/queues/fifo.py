@@ -1,0 +1,152 @@
+"""The physical FIFO queue the paper argues about.
+
+This models the per-port drop-tail queue of a commodity switch:
+
+* a byte limit (drop-tail beyond it),
+* an optional instantaneous-queue-length ECN marking threshold
+  (the standard single-threshold DCTCP marking scheme),
+* statistics: drops, marks, per-packet queuing delay, backlog samples.
+
+The two properties Section 2 of the paper attributes to physical queues fall
+out of this model directly: the buffer is shared by everything routed to the
+port, and congestion signals appear only once backlog builds.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Optional
+
+from ..errors import ConfigurationError
+from ..net.packet import Packet
+from .base import QueueDiscipline
+
+
+class FifoQueueStats:
+    """Counters exposed by :class:`PhysicalFifoQueue`."""
+
+    __slots__ = (
+        "enqueued_packets",
+        "enqueued_bytes",
+        "dequeued_packets",
+        "dequeued_bytes",
+        "dropped_packets",
+        "dropped_bytes",
+        "ecn_marked_packets",
+        "max_bytes_queued",
+        "queuing_delays",
+    )
+
+    def __init__(self) -> None:
+        self.enqueued_packets = 0
+        self.enqueued_bytes = 0
+        self.dequeued_packets = 0
+        self.dequeued_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.ecn_marked_packets = 0
+        self.max_bytes_queued = 0
+        self.queuing_delays: list = []
+
+    def record_delay(self, delay: float) -> None:
+        self.queuing_delays.append(delay)
+
+
+class PhysicalFifoQueue(QueueDiscipline):
+    """Shared drop-tail FIFO with optional ECN marking.
+
+    Parameters
+    ----------
+    limit_bytes:
+        Buffer size; packets arriving when ``bytes_queued + size`` would
+        exceed it are dropped (drop-tail).
+    ecn_threshold_bytes:
+        If set, ECN-capable packets are CE-marked when the instantaneous
+        backlog at enqueue time is at or above this threshold (DCTCP's
+        single-threshold marking). Following standard RED-with-ECN switch
+        behaviour (and the paper's NS3 setup), packets that are *not*
+        ECN-capable are dropped at the same threshold unless
+        ``red_drop_non_ect`` is disabled.
+    collect_delays:
+        Record per-packet queuing delay (off by default; it allocates).
+    """
+
+    def __init__(
+        self,
+        limit_bytes: int,
+        ecn_threshold_bytes: Optional[int] = None,
+        collect_delays: bool = False,
+        red_drop_non_ect: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if limit_bytes <= 0:
+            raise ConfigurationError(f"queue limit must be positive, got {limit_bytes}")
+        if ecn_threshold_bytes is not None and ecn_threshold_bytes < 0:
+            raise ConfigurationError(
+                f"ECN threshold must be non-negative, got {ecn_threshold_bytes}"
+            )
+        self.limit_bytes = limit_bytes
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.red_drop_non_ect = red_drop_non_ect
+        self._collect_delays = collect_delays
+        self._rng = random.Random(seed)
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+        self.stats = FifoQueueStats()
+
+    # -- QueueDiscipline -------------------------------------------------------
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        if self._bytes + packet.size > self.limit_bytes:
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bytes += packet.size
+            return False
+        if (
+            self.ecn_threshold_bytes is not None
+            and self._bytes >= self.ecn_threshold_bytes
+        ):
+            if packet.ect:
+                packet.mark_ce()
+                self.stats.ecn_marked_packets += 1
+            elif self.red_drop_non_ect:
+                # RED-style early drop for non-ECT traffic: probability
+                # ramps linearly from 0 at the threshold to 1 at twice the
+                # threshold (capped by the hard limit).
+                min_th = self.ecn_threshold_bytes
+                max_th = min(2 * min_th, self.limit_bytes)
+                if max_th <= min_th:
+                    drop_probability = 1.0
+                else:
+                    drop_probability = (self._bytes - min_th) / (max_th - min_th)
+                if self._rng.random() < drop_probability:
+                    self.stats.dropped_packets += 1
+                    self.stats.dropped_bytes += packet.size
+                    return False
+        packet.enqueue_time = now
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self.stats.enqueued_packets += 1
+        self.stats.enqueued_bytes += packet.size
+        if self._bytes > self.stats.max_bytes_queued:
+            self.stats.max_bytes_queued = self._bytes
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        self.stats.dequeued_packets += 1
+        self.stats.dequeued_bytes += packet.size
+        if self._collect_delays:
+            self.stats.record_delay(now - packet.enqueue_time)
+        return packet
+
+    @property
+    def bytes_queued(self) -> int:
+        return self._bytes
+
+    @property
+    def packets_queued(self) -> int:
+        return len(self._queue)

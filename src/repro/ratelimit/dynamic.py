@@ -1,0 +1,91 @@
+"""Entity-level dynamic rate limiting — the DRL baseline for the
+bandwidth-sharing experiments (Figures 6, 7, 10).
+
+Each VM of an entity gets a token-bucket limiter; every adjustment
+interval (15 ms, matching ElasticSwitch's configuration in the paper) the
+entity's total share is re-partitioned across its VMs proportionally to
+their measured demand (bytes submitted plus backlog), with a ramp-up floor
+for idle VMs. This is "the rates are dynamically adjusted based on the
+traffic pattern" of Section 5.1, at VM granularity.
+
+The pair-granularity hose-model variant lives in
+:mod:`repro.ratelimit.elasticswitch` and is used for the Table 3
+bi-directional-profile experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from ..sim.engine import PeriodicTask
+from ..units import ms
+from .token_bucket import TokenBucketShaper
+
+#: Fraction of a VM's even split retained while it shows no demand.
+IDLE_VM_FLOOR = 0.25
+
+
+class DynamicVmAllocator:
+    """Re-partitions one entity's bandwidth share across its VMs."""
+
+    def __init__(
+        self,
+        network,
+        entity_share_bps: float,
+        vm_hosts: List[str],
+        interval: float = ms(15),
+        idle_floor: float = IDLE_VM_FLOOR,
+    ) -> None:
+        if entity_share_bps <= 0:
+            raise ConfigurationError("entity share must be positive")
+        if not vm_hosts:
+            raise ConfigurationError("at least one VM host required")
+        if not 0.0 <= idle_floor < 1.0:
+            raise ConfigurationError(f"idle floor must be in [0, 1), got {idle_floor}")
+        self.network = network
+        self.entity_share_bps = entity_share_bps
+        self.interval = interval
+        self.idle_floor = idle_floor
+        self.shapers: Dict[str, TokenBucketShaper] = {}
+        self._last_submitted: Dict[str, int] = {}
+
+        even = entity_share_bps / len(vm_hosts)
+        for name in vm_hosts:
+            host = network.hosts[name]
+            shaper = TokenBucketShaper(network.sim, even, host.forward_to_nic)
+            host.install_shaper(shaper)
+            self.shapers[name] = shaper
+            self._last_submitted[name] = 0
+        self._task = PeriodicTask(network.sim, interval, self._tick)
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def _demands_bps(self) -> Dict[str, float]:
+        demands: Dict[str, float] = {}
+        for name, shaper in self.shapers.items():
+            submitted = shaper.submitted_bytes
+            delta = submitted - self._last_submitted[name]
+            self._last_submitted[name] = submitted
+            demands[name] = (delta + shaper.backlog_bytes) * 8.0 / self.interval
+        return demands
+
+    def _tick(self) -> None:
+        demands = self._demands_bps()
+        even = self.entity_share_bps / len(self.shapers)
+        floor = even * self.idle_floor
+        active = {name: d for name, d in demands.items() if d > 0.0}
+        if not active:
+            for shaper in self.shapers.values():
+                shaper.set_rate(even)
+            return
+        idle_count = len(self.shapers) - len(active)
+        distributable = self.entity_share_bps - idle_count * floor
+        total_demand = sum(active.values())
+        for name, shaper in self.shapers.items():
+            if name in active:
+                rate = distributable * active[name] / total_demand
+                shaper.set_rate(max(rate, floor))
+            else:
+                shaper.set_rate(floor)

@@ -1,0 +1,261 @@
+"""ElasticSwitch-style dynamic rate limiter — the DRL baseline.
+
+ElasticSwitch (Popa et al., SIGCOMM 2013) enforces hose-model VM
+guarantees with two periodically-run layers:
+
+* **Guarantee Partitioning (GP)** — each VM's outbound (resp. inbound)
+  guarantee is divided among its currently-active destination (resp.
+  source) VMs according to demand; a VM-pair's guarantee is the min of the
+  two splits.
+* **Rate Allocation (RA)** — pair rate limiters track the pair guarantee
+  and optionally probe above it when no congestion is observed.
+
+This implementation keeps the part that drives the paper's comparisons —
+the *15 ms adjustment interval* between demand shifts and limiter updates
+(Section 5.1) — and simplifies the distributed GP protocol into a
+centralized computation (the simulator has the global view anyway; noted
+in DESIGN.md). RA probing above the guarantee is off by default because
+the paper's DRL rows enforce the profile strictly (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..net.host import Host
+from ..net.packet import ACK, Packet
+from ..sim.engine import PeriodicTask
+from ..units import ms
+from .token_bucket import TokenBucketShaper
+
+PairKey = Tuple[str, str]
+
+#: ElasticSwitch's rate-adjustment period as configured in the paper.
+DEFAULT_INTERVAL = ms(15)
+
+#: Fraction of the source VM's guarantee given to pairs that showed no
+#: demand in the last window, so a resuming pair can ramp before the next
+#: tick re-partitions (ElasticSwitch's RA similarly never drops a pair's
+#: limiter to zero).
+IDLE_PAIR_FLOOR = 0.25
+
+
+@dataclass
+class VmProfile:
+    """Hose-model guarantee of one VM."""
+
+    name: str
+    outbound_bps: float
+    inbound_bps: float
+
+    def __post_init__(self) -> None:
+        if self.outbound_bps <= 0 or self.inbound_bps <= 0:
+            raise ConfigurationError(
+                f"VM {self.name}: guarantees must be positive "
+                f"(out={self.outbound_bps}, in={self.inbound_bps})"
+            )
+
+
+class _PairShaper:
+    """Per-host shaper that classifies by destination into pair buckets."""
+
+    def __init__(self, sim, host: Host, manager: "ElasticSwitch") -> None:
+        self.sim = sim
+        self.host = host
+        self.manager = manager
+        self.buckets: Dict[str, TokenBucketShaper] = {}
+        #: Bytes submitted per destination since the manager's last tick.
+        self.submitted: Dict[str, int] = {}
+
+    def submit(self, packet: Packet) -> None:
+        if packet.kind == ACK:
+            # Control traffic is never shaped (as in real deployments).
+            self.host.forward_to_nic(packet)
+            return
+        dst = packet.dst
+        bucket = self.buckets.get(dst)
+        if bucket is None:
+            rate = self.manager.initial_pair_rate(self.host.name, dst)
+            bucket = TokenBucketShaper(
+                self.sim, rate, self.host.forward_to_nic
+            )
+            self.buckets[dst] = bucket
+        self.submitted[dst] = self.submitted.get(dst, 0) + packet.size
+        bucket.submit(packet)
+
+
+class ElasticSwitch:
+    """Centralized GP+RA manager over a set of VM hosts."""
+
+    def __init__(
+        self,
+        network,
+        interval: float = DEFAULT_INTERVAL,
+        work_conserving: bool = False,
+        probe_increase: float = 0.2,
+        congestion_decrease: float = 0.3,
+        link_capacity_bps: Optional[float] = None,
+    ) -> None:
+        self.network = network
+        self.interval = interval
+        self.work_conserving = work_conserving
+        self.probe_increase = probe_increase
+        self.congestion_decrease = congestion_decrease
+        self.link_capacity_bps = link_capacity_bps
+        self.profiles: Dict[str, VmProfile] = {}
+        self.shapers: Dict[str, _PairShaper] = {}
+        #: VM -> budget-owner name; by default each VM owns its own budget,
+        #: but VMs of one entity may pool theirs (Figures 6/7/10 use this).
+        self._owner_of: Dict[str, str] = {}
+        self._pair_rates: Dict[PairKey, float] = {}
+        self._delivered: Dict[PairKey, int] = {}
+        self._delivered_last: Dict[PairKey, int] = {}
+        self._released_last: Dict[PairKey, int] = {}
+        self._task: Optional[PeriodicTask] = None
+
+    # -- setup -------------------------------------------------------------------
+
+    def add_vm(self, profile: VmProfile, owner: Optional[str] = None) -> None:
+        """Register a VM. ``owner`` pools budgets: all VMs sharing an owner
+        share one outbound/inbound budget (the sum of their profiles), and
+        GP splits that pooled budget across the owner's active pairs."""
+        if profile.name in self.profiles:
+            raise ConfigurationError(f"VM {profile.name} already registered")
+        host = self.network.hosts.get(profile.name)
+        if host is None:
+            raise ConfigurationError(f"no host named {profile.name}")
+        self.profiles[profile.name] = profile
+        self._owner_of[profile.name] = owner if owner is not None else profile.name
+        shaper = _PairShaper(self.network.sim, host, self)
+        self.shapers[profile.name] = shaper
+        host.install_shaper(shaper)
+        host.receive_taps.append(self._count_delivery)
+
+    def _owner_budget(self, owner: str, outbound: bool) -> float:
+        total = 0.0
+        for vm, vm_owner in self._owner_of.items():
+            if vm_owner == owner:
+                profile = self.profiles[vm]
+                total += profile.outbound_bps if outbound else profile.inbound_bps
+        return total
+
+    def start(self) -> None:
+        """Begin the periodic GP/RA adjustment loop."""
+        if self._task is not None:
+            raise ConfigurationError("ElasticSwitch already started")
+        self._task = PeriodicTask(self.network.sim, self.interval, self._tick)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    # -- signals --------------------------------------------------------------------
+
+    def _count_delivery(self, packet: Packet, now: float) -> None:
+        if packet.kind == ACK:
+            return
+        key = (packet.src, packet.dst)
+        if packet.src in self.profiles:
+            self._delivered[key] = self._delivered.get(key, 0) + packet.size
+
+    def initial_pair_rate(self, src: str, dst: str) -> float:
+        """Rate for a pair's first packet, before any GP tick ran.
+
+        Optimistic cold start at the source VM's full outbound guarantee —
+        the next GP tick partitions it properly. (A pessimistic cold start
+        would throttle every short flow that fits inside one 15 ms window,
+        which is not how ElasticSwitch behaves.)
+        """
+        rate = self._pair_rates.get((src, dst))
+        if rate is not None:
+            return rate
+        rate = self.profiles[src].outbound_bps
+        self._pair_rates[(src, dst)] = rate
+        return rate
+
+    # -- the periodic adjustment ------------------------------------------------------
+
+    def _demands(self) -> Dict[PairKey, float]:
+        """Per-pair demand observed since the last tick (bps), including
+        the shaper backlog that is still waiting."""
+        demands: Dict[PairKey, float] = {}
+        for src, shaper in self.shapers.items():
+            for dst, submitted in shaper.submitted.items():
+                backlog = 0
+                bucket = shaper.buckets.get(dst)
+                if bucket is not None:
+                    backlog = bucket.backlog_bytes
+                demands[(src, dst)] = (submitted + backlog) * 8.0 / self.interval
+            shaper.submitted.clear()
+        return demands
+
+    def _tick(self) -> None:
+        demands = self._demands()
+
+        # Guarantee Partitioning: split guarantees over active pairs by demand.
+        out_splits = self._split(demands, by_src=True)
+        in_splits = self._split(demands, by_src=False)
+
+        for src, shaper in self.shapers.items():
+            profile = self.profiles[src]
+            floor = profile.outbound_bps * IDLE_PAIR_FLOOR
+            for dst, bucket in shaper.buckets.items():
+                key = (src, dst)
+                pair_guarantee = min(
+                    out_splits.get(key, floor),
+                    in_splits.get(key, float("inf")),
+                )
+                pair_guarantee = max(pair_guarantee, floor)
+                rate = pair_guarantee
+                if self.work_conserving:
+                    rate = self._rate_allocation(key, bucket, pair_guarantee)
+                self._pair_rates[key] = rate
+                bucket.set_rate(rate)
+
+    def _split(
+        self, demands: Dict[PairKey, float], by_src: bool
+    ) -> Dict[PairKey, float]:
+        """Divide each budget owner's guarantee among its active pairs
+        proportionally to demand (the GP step)."""
+        groups: Dict[str, Dict[PairKey, float]] = {}
+        for (src, dst), demand in demands.items():
+            if demand <= 0:
+                continue
+            vm = src if by_src else dst
+            if vm not in self.profiles:
+                continue
+            owner = self._owner_of[vm]
+            groups.setdefault(owner, {})[(src, dst)] = demand
+        splits: Dict[PairKey, float] = {}
+        for owner, pair_demands in groups.items():
+            total = sum(pair_demands.values())
+            budget = self._owner_budget(owner, outbound=by_src)
+            for key, demand in pair_demands.items():
+                splits[key] = budget * demand / total
+        return splits
+
+    def _rate_allocation(
+        self, key: PairKey, bucket: TokenBucketShaper, pair_guarantee: float
+    ) -> float:
+        """RA probing: climb above the guarantee while loss-free."""
+        released = bucket.shaped_packets  # proxy for activity
+        delivered = self._delivered.get(key, 0)
+        delivered_delta = delivered - self._delivered_last.get(key, 0)
+        self._delivered_last[key] = delivered
+        released_bytes = self._released_last.get(key, 0)
+        current = self._pair_rates.get(key, pair_guarantee)
+        sent_estimate = current * self.interval / 8.0
+        congested = (
+            delivered_delta > 0 and delivered_delta < 0.9 * min(sent_estimate, released_bytes or sent_estimate)
+        )
+        if congested:
+            rate = max(pair_guarantee, current * (1.0 - self.congestion_decrease))
+        else:
+            ceiling = self.link_capacity_bps or float("inf")
+            rate = min(ceiling, current * (1.0 + self.probe_increase))
+            rate = max(rate, pair_guarantee)
+        self._released_last[key] = int(sent_estimate)
+        return rate

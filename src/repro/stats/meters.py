@@ -1,0 +1,123 @@
+"""Measurement instruments: windowed throughput, rate ranges, percentiles."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.engine import PeriodicTask, Simulator
+
+
+class ThroughputMeter:
+    """Windowed throughput series for one byte stream.
+
+    Feed it bytes (typically from a receiver's ``on_deliver`` callback);
+    every ``interval`` it records the rate of the elapsed window. The
+    series is what the paper's throughput-over-time figures plot, and rate
+    *ranges* over the measurement period are what Table 3 reports.
+    """
+
+    def __init__(self, sim: Simulator, interval: float, name: str = "") -> None:
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.name = name
+        self.total_bytes = 0
+        self._window_bytes = 0
+        self.samples: List[Tuple[float, float]] = []  # (window end time, bps)
+        self._task = PeriodicTask(sim, interval, self._sample)
+
+    def add(self, nbytes: int, now: float = 0.0) -> None:
+        """Record delivered bytes (signature matches on_deliver hooks)."""
+        self.total_bytes += nbytes
+        self._window_bytes += nbytes
+
+    def _sample(self) -> None:
+        rate = self._window_bytes * 8.0 / self.interval
+        self.samples.append((self.sim.now, rate))
+        self._window_bytes = 0
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    # -- summaries ----------------------------------------------------------------
+
+    def rates(self, after: float = 0.0, before: float = math.inf) -> List[float]:
+        """Window rates with endpoints in ``(after, before]``."""
+        return [r for t, r in self.samples if after < t <= before]
+
+    def mean_rate(self, after: float = 0.0, before: float = math.inf) -> float:
+        rates = self.rates(after, before)
+        return sum(rates) / len(rates) if rates else 0.0
+
+    def rate_range(
+        self, after: float = 0.0, before: float = math.inf,
+        low_percentile: float = 5.0, high_percentile: float = 95.0,
+    ) -> Tuple[float, float]:
+        """(low, high) percentile of window rates — a robust "range"
+        matching how Table 3 reports min~max while ignoring freak windows."""
+        rates = self.rates(after, before)
+        if not rates:
+            return (0.0, 0.0)
+        return (percentile(rates, low_percentile), percentile(rates, high_percentile))
+
+    def average_rate_over(self, duration: float) -> float:
+        """Total bytes divided by a known duration."""
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration}")
+        return self.total_bytes * 8.0 / duration
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile (``pct`` in [0, 100])."""
+    if not values:
+        raise ConfigurationError("percentile of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ConfigurationError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = pct / 100.0 * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    value = ordered[lo] * (1 - frac) + ordered[hi] * frac
+    # Clamp float round-off so the result stays within the data range.
+    return min(max(value, ordered[lo]), ordered[hi])
+
+
+class CompletionTracker:
+    """Tracks when each member of a set of flows completes.
+
+    The paper's "workload completion time" of an entity is the time from
+    the experiment start until the entity's last flow finishes.
+    """
+
+    def __init__(self, expected: int) -> None:
+        if expected <= 0:
+            raise ConfigurationError(f"expected flow count must be positive")
+        self.expected = expected
+        self.completed = 0
+        self.last_completion_time: Optional[float] = None
+        self.completion_times: List[float] = []
+
+    def on_complete(self, _conn, now: float) -> None:
+        self.completed += 1
+        self.completion_times.append(now)
+        self.last_completion_time = now
+
+    @property
+    def all_done(self) -> bool:
+        return self.completed >= self.expected
+
+    def workload_completion_time(self) -> float:
+        """Time of the last completion; raises if the workload is unfinished."""
+        if not self.all_done or self.last_completion_time is None:
+            raise ConfigurationError(
+                f"workload incomplete: {self.completed}/{self.expected} flows done"
+            )
+        return self.last_completion_time

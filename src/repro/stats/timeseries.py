@@ -1,0 +1,105 @@
+"""Time-series utilities for analyzing experiment output.
+
+Small, dependency-free helpers used by benches, examples, and tests to
+post-process :class:`~repro.stats.meters.ThroughputMeter` samples:
+smoothing, settling-time detection (how long after a membership change an
+entity reaches its new share — the Figure 9 question), and coefficient of
+variation (the "predictable performance" metric of Section 2.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+Series = Sequence[Tuple[float, float]]  # (time, value)
+
+
+def moving_average(series: Series, window: int) -> List[Tuple[float, float]]:
+    """Trailing moving average over ``window`` samples."""
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    out: List[Tuple[float, float]] = []
+    acc = 0.0
+    values: List[float] = []
+    for time, value in series:
+        values.append(value)
+        acc += value
+        if len(values) > window:
+            acc -= values.pop(0)
+        out.append((time, acc / len(values)))
+    return out
+
+
+def settling_time(
+    series: Series,
+    target: float,
+    tolerance: float = 0.1,
+    start: float = 0.0,
+    hold_samples: int = 3,
+) -> Optional[float]:
+    """First time after ``start`` at which the series enters and *stays*
+    (for ``hold_samples`` consecutive samples) within ``tolerance``
+    (fractional) of ``target``. ``None`` if it never settles.
+    """
+    if target <= 0:
+        raise ConfigurationError("target must be positive")
+    if hold_samples < 1:
+        raise ConfigurationError("hold_samples must be >= 1")
+    run_start: Optional[float] = None
+    run_length = 0
+    for time, value in series:
+        if time < start:
+            continue
+        if abs(value - target) <= tolerance * target:
+            if run_length == 0:
+                run_start = time
+            run_length += 1
+            if run_length >= hold_samples:
+                return run_start
+        else:
+            run_length = 0
+            run_start = None
+    return None
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Std-dev over mean — the throughput-predictability metric."""
+    if not values:
+        raise ConfigurationError("empty sequence")
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return math.sqrt(variance) / abs(mean)
+
+
+def integrate(series: Series) -> float:
+    """Trapezoidal integral of the series over its time span (e.g. bytes
+    from a rate series)."""
+    total = 0.0
+    for (t0, v0), (t1, v1) in zip(series, series[1:]):
+        if t1 < t0:
+            raise ConfigurationError("series times must be non-decreasing")
+        total += (v0 + v1) / 2.0 * (t1 - t0)
+    return total
+
+
+def downsample(series: Series, factor: int) -> List[Tuple[float, float]]:
+    """Every ``factor``-th sample, averaging the skipped ones."""
+    if factor < 1:
+        raise ConfigurationError(f"factor must be >= 1, got {factor}")
+    out: List[Tuple[float, float]] = []
+    bucket: List[Tuple[float, float]] = []
+    for point in series:
+        bucket.append(point)
+        if len(bucket) == factor:
+            time = bucket[-1][0]
+            value = sum(v for _, v in bucket) / len(bucket)
+            out.append((time, value))
+            bucket = []
+    if bucket:
+        out.append((bucket[-1][0], sum(v for _, v in bucket) / len(bucket)))
+    return out

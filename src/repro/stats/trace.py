@@ -1,0 +1,115 @@
+"""Packet tracing: record and summarize packets at any tap point.
+
+A :class:`PacketTrace` attaches to switch taps or host receive taps and
+records compact per-packet records (time, flow, size, headers of
+interest). Summaries answer the questions experiments keep asking —
+per-flow/per-entity byte counts, retransmission counts, mark rates —
+without every scenario reinventing its own counters.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..net.packet import ACK, DATA, Packet, UDP
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed packet."""
+
+    time: float
+    kind: int
+    flow_id: int
+    size: int
+    seq: int
+    ce: bool
+    aq_ingress_id: int
+    retransmission: bool
+
+
+class PacketTrace:
+    """A bounded in-memory packet recorder."""
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        self.truncated = False
+
+    # -- tap interfaces --------------------------------------------------------
+
+    def switch_tap(self, packet: Packet) -> None:
+        """Use with :meth:`repro.net.switch.Switch.add_tap` (no timestamp
+        available at that layer; the record carries the enqueue time)."""
+        self._record(packet, packet.enqueue_time)
+
+    def host_tap(self, packet: Packet, now: float) -> None:
+        """Use with :attr:`repro.net.host.Host.receive_taps`."""
+        self._record(packet, now)
+
+    def _record(self, packet: Packet, time: float) -> None:
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.truncated = True
+            return
+        self.records.append(
+            TraceRecord(
+                time=time,
+                kind=packet.kind,
+                flow_id=packet.flow_id,
+                size=packet.size,
+                seq=packet.seq,
+                ce=packet.ce,
+                aq_ingress_id=packet.aq_ingress_id,
+                retransmission=packet.retransmission,
+            )
+        )
+
+    # -- summaries -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def bytes_by_flow(self, data_only: bool = True) -> Dict[int, int]:
+        totals: Dict[int, int] = defaultdict(int)
+        for record in self.records:
+            if data_only and record.kind == ACK:
+                continue
+            totals[record.flow_id] += record.size
+        return dict(totals)
+
+    def bytes_by_entity(self) -> Dict[int, int]:
+        """Bytes per AQ ingress ID (0 = untagged)."""
+        totals: Dict[int, int] = defaultdict(int)
+        for record in self.records:
+            if record.kind != ACK:
+                totals[record.aq_ingress_id] += record.size
+        return dict(totals)
+
+    def retransmission_count(self) -> int:
+        return sum(1 for r in self.records if r.retransmission)
+
+    def ce_mark_fraction(self) -> float:
+        """Fraction of data packets carrying a CE mark."""
+        data = [r for r in self.records if r.kind in (DATA, UDP)]
+        if not data:
+            return 0.0
+        return sum(1 for r in data if r.ce) / len(data)
+
+    def interarrival_times(self, flow_id: Optional[int] = None) -> List[float]:
+        times = [
+            r.time
+            for r in self.records
+            if flow_id is None or r.flow_id == flow_id
+        ]
+        return [b - a for a, b in zip(times, times[1:])]
+
+    def rate_bps(self, duration: float, data_only: bool = True) -> float:
+        """Aggregate observed rate over a known duration."""
+        total = sum(
+            r.size
+            for r in self.records
+            if not (data_only and r.kind == ACK)
+        )
+        return total * 8.0 / duration if duration > 0 else 0.0

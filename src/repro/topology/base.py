@@ -1,0 +1,192 @@
+"""Network container and generic wiring/routing.
+
+:class:`Network` owns the simulator, hosts, switches, and links of one
+scenario, and computes static shortest-path routes (BFS over the switch
+graph). Topology builders (:mod:`repro.topology.dumbbell`,
+:mod:`repro.topology.star`) produce configured networks for the paper's
+Figure 5 setups.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError, RoutingError
+from ..net.host import Host
+from ..net.link import Link
+from ..net.switch import Switch
+from ..queues.fifo import PhysicalFifoQueue
+from ..sim.engine import Simulator
+from ..sim.rng import RngRegistry
+from ..units import MTU_BYTES
+
+
+@dataclass
+class QueueConfig:
+    """Physical queue parameters applied to every switch port by default.
+
+    ``ecn_threshold_bytes`` enables switch-level DCTCP marking; scenarios
+    running AQ-managed DCTCP disable it (AQ generates per-entity ECN from
+    the A-Gap instead, Section 3.3.2).
+    """
+
+    limit_bytes: int = 200 * MTU_BYTES
+    ecn_threshold_bytes: Optional[int] = None
+    collect_delays: bool = False
+
+    def build(self) -> PhysicalFifoQueue:
+        return PhysicalFifoQueue(
+            limit_bytes=self.limit_bytes,
+            ecn_threshold_bytes=self.ecn_threshold_bytes,
+            collect_delays=self.collect_delays,
+        )
+
+
+class Network:
+    """All simulated elements of one scenario."""
+
+    def __init__(self, sim: Optional[Simulator] = None, seed: int = 0) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.rng = RngRegistry(seed)
+        self.hosts: Dict[str, Host] = {}
+        self.switches: Dict[str, Switch] = {}
+        self.links: Dict[str, Link] = {}
+        self._next_flow_id = 0
+        #: host -> the switch it is attached to (single-homed hosts).
+        self._host_uplink: Dict[str, str] = {}
+        #: adjacency between switches: name -> {neighbor: port_name}
+        self._switch_adj: Dict[str, Dict[str, str]] = {}
+
+    # -- element creation ---------------------------------------------------------
+
+    def add_host(self, name: str) -> Host:
+        if name in self.hosts or name in self.switches:
+            raise ConfigurationError(f"duplicate node name {name!r}")
+        host = Host(self.sim, name)
+        self.hosts[name] = host
+        return host
+
+    def add_switch(self, name: str) -> Switch:
+        if name in self.hosts or name in self.switches:
+            raise ConfigurationError(f"duplicate node name {name!r}")
+        switch = Switch(self.sim, name)
+        self.switches[name] = switch
+        self._switch_adj[name] = {}
+        return switch
+
+    # -- wiring --------------------------------------------------------------------
+
+    def connect_host(
+        self,
+        host_name: str,
+        switch_name: str,
+        rate_bps: float,
+        prop_delay: float,
+        queue_config: Optional[QueueConfig] = None,
+    ) -> None:
+        """Create the bidirectional access link between a host and a switch."""
+        host = self.hosts[host_name]
+        switch = self.switches[switch_name]
+        queue_config = queue_config or QueueConfig()
+
+        uplink = Link(
+            self.sim, rate_bps, prop_delay, switch.receive,
+            name=f"{host_name}->{switch_name}",
+        )
+        host.attach_link(uplink)
+        self.links[uplink.name] = uplink
+
+        downlink = Link(
+            self.sim, rate_bps, prop_delay, host.receive,
+            name=f"{switch_name}->{host_name}",
+        )
+        switch.add_port(host_name, queue_config.build(), downlink)
+        self.links[downlink.name] = downlink
+        self._host_uplink[host_name] = switch_name
+
+    def connect_switches(
+        self,
+        a_name: str,
+        b_name: str,
+        rate_bps: float,
+        prop_delay: float,
+        queue_config: Optional[QueueConfig] = None,
+    ) -> None:
+        """Create the bidirectional trunk between two switches."""
+        a = self.switches[a_name]
+        b = self.switches[b_name]
+        queue_config = queue_config or QueueConfig()
+
+        ab = Link(self.sim, rate_bps, prop_delay, b.receive, name=f"{a_name}->{b_name}")
+        a.add_port(b_name, queue_config.build(), ab)
+        self.links[ab.name] = ab
+
+        ba = Link(self.sim, rate_bps, prop_delay, a.receive, name=f"{b_name}->{a_name}")
+        b.add_port(a_name, queue_config.build(), ba)
+        self.links[ba.name] = ba
+
+        self._switch_adj[a_name][b_name] = b_name
+        self._switch_adj[b_name][a_name] = a_name
+
+    # -- routing -------------------------------------------------------------------
+
+    def install_routes(self) -> None:
+        """Install next-hop routes on every switch for every host.
+
+        Uses BFS over the switch graph; with the paper's dumbbell and star
+        topologies every path is trivially unique.
+        """
+        for host_name, edge_switch in self._host_uplink.items():
+            # The edge switch forwards directly out the host port.
+            self.switches[edge_switch].add_route(host_name, host_name)
+            # Every other switch forwards toward the edge switch.
+            parents = self._bfs_parents(edge_switch)
+            for switch_name in self.switches:
+                if switch_name == edge_switch:
+                    continue
+                next_hop = self._next_hop(parents, switch_name, edge_switch)
+                self.switches[switch_name].add_route(host_name, next_hop)
+
+    def _bfs_parents(self, root: str) -> Dict[str, str]:
+        parents: Dict[str, str] = {root: root}
+        frontier = deque([root])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in self._switch_adj[node]:
+                if neighbor not in parents:
+                    parents[neighbor] = node
+                    frontier.append(neighbor)
+        return parents
+
+    @staticmethod
+    def _next_hop(parents: Dict[str, str], src: str, dst: str) -> str:
+        if src not in parents:
+            raise RoutingError(f"switch {src} cannot reach {dst}")
+        return parents[src]
+
+    # -- conveniences -------------------------------------------------------------
+
+    def allocate_flow_id(self) -> int:
+        """Globally unique flow ID for a new transport connection."""
+        self._next_flow_id += 1
+        return self._next_flow_id
+
+
+    def host_names(self) -> List[str]:
+        return list(self.hosts)
+
+    def link(self, src: str, dst: str) -> Link:
+        name = f"{src}->{dst}"
+        link = self.links.get(name)
+        if link is None:
+            raise ConfigurationError(f"no link {name}")
+        return link
+
+    def switch_port(self, switch_name: str, port_name: str):
+        return self.switches[switch_name].ports[port_name]
+
+    def run(self, until: float) -> int:
+        """Run the shared simulator; returns events processed."""
+        return self.sim.run(until=until)

@@ -1,0 +1,94 @@
+"""Dumbbell topology (paper Figure 5a, used for all NS3 experiments).
+
+``n`` sender hosts attach to a left switch, ``n`` receiver hosts to a right
+switch, and the single left→right trunk is the bottleneck every entity
+shares. Access links run at ``access_multiplier`` × the bottleneck rate so
+the trunk — not the edge — is the contended resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..units import gbps, us
+from .base import Network, QueueConfig
+
+
+@dataclass
+class DumbbellConfig:
+    """Parameters of the dumbbell; defaults follow the paper's simulator
+    setup (10 Gbps, 10 us propagation delay) before scaling."""
+
+    num_left: int = 4
+    num_right: int = 4
+    bottleneck_rate_bps: float = gbps(10)
+    access_multiplier: float = 4.0
+    prop_delay: float = us(10)
+    queue_config: QueueConfig = field(default_factory=QueueConfig)
+    seed: int = 0
+
+
+class Dumbbell:
+    """A built dumbbell network with handy accessors."""
+
+    LEFT_SWITCH = "s-left"
+    RIGHT_SWITCH = "s-right"
+
+    def __init__(self, config: Optional[DumbbellConfig] = None) -> None:
+        self.config = config or DumbbellConfig()
+        cfg = self.config
+        self.network = Network(seed=cfg.seed)
+        net = self.network
+
+        net.add_switch(self.LEFT_SWITCH)
+        net.add_switch(self.RIGHT_SWITCH)
+        self.left_hosts: List[str] = []
+        self.right_hosts: List[str] = []
+
+        access_rate = cfg.bottleneck_rate_bps * cfg.access_multiplier
+        for i in range(cfg.num_left):
+            name = f"h-l{i}"
+            net.add_host(name)
+            net.connect_host(
+                name, self.LEFT_SWITCH, access_rate, cfg.prop_delay, cfg.queue_config
+            )
+            self.left_hosts.append(name)
+        for i in range(cfg.num_right):
+            name = f"h-r{i}"
+            net.add_host(name)
+            net.connect_host(
+                name, self.RIGHT_SWITCH, access_rate, cfg.prop_delay, cfg.queue_config
+            )
+            self.right_hosts.append(name)
+
+        net.connect_switches(
+            self.LEFT_SWITCH,
+            self.RIGHT_SWITCH,
+            cfg.bottleneck_rate_bps,
+            cfg.prop_delay,
+            cfg.queue_config,
+        )
+        net.install_routes()
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    @property
+    def bottleneck_port(self):
+        """The left switch's port onto the trunk — where contention happens."""
+        return self.network.switch_port(self.LEFT_SWITCH, self.RIGHT_SWITCH)
+
+    @property
+    def bottleneck_switch(self):
+        return self.network.switches[self.LEFT_SWITCH]
+
+    @property
+    def bottleneck_link(self):
+        return self.network.link(self.LEFT_SWITCH, self.RIGHT_SWITCH)
+
+    def base_rtt(self) -> float:
+        """Zero-queueing round-trip time between a left and a right host."""
+        # 3 hops each way; serialization excluded (negligible for ACKs).
+        return 6 * self.config.prop_delay

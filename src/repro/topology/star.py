@@ -1,0 +1,66 @@
+"""Star / single-ToR topology (paper Figures 2 and 5b, the testbed setup).
+
+``n`` hosts (the paper's VMs) hang off one switch; the contended resources
+are the per-host downlinks (inbound) and each host's uplink (outbound).
+Used for the VM bi-directional bandwidth-guarantee experiments (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..units import gbps, us
+from .base import Network, QueueConfig
+
+
+@dataclass
+class StarConfig:
+    """Parameters of the star; defaults follow the testbed (25 Gbps links)
+    before scaling."""
+
+    num_hosts: int = 4
+    link_rate_bps: float = gbps(25)
+    prop_delay: float = us(10)
+    queue_config: QueueConfig = field(default_factory=QueueConfig)
+    seed: int = 0
+    host_prefix: str = "vm"
+
+
+class Star:
+    """A built star network."""
+
+    SWITCH = "tor"
+
+    def __init__(self, config: Optional[StarConfig] = None) -> None:
+        self.config = config or StarConfig()
+        cfg = self.config
+        self.network = Network(seed=cfg.seed)
+        net = self.network
+
+        net.add_switch(self.SWITCH)
+        self.hosts: List[str] = []
+        for i in range(cfg.num_hosts):
+            name = f"{cfg.host_prefix}{i}"
+            net.add_host(name)
+            net.connect_host(
+                name, self.SWITCH, cfg.link_rate_bps, cfg.prop_delay, cfg.queue_config
+            )
+            self.hosts.append(name)
+        net.install_routes()
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    @property
+    def switch(self):
+        return self.network.switches[self.SWITCH]
+
+    def downlink_port(self, host_name: str):
+        """The ToR port feeding ``host_name`` (inbound contention point)."""
+        return self.network.switch_port(self.SWITCH, host_name)
+
+    def base_rtt(self) -> float:
+        """Zero-queueing round-trip time between two hosts."""
+        return 4 * self.config.prop_delay

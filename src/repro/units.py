@@ -1,0 +1,137 @@
+"""Unit helpers and physical constants used throughout the simulator.
+
+Conventions (chosen once, used everywhere):
+
+* **time** is in seconds (``float``),
+* **rates** are in bits per second,
+* **sizes** are in bytes (``int`` on the wire, ``float`` in fluid math).
+
+The helpers below exist so that scenario code reads like the paper
+("a 10 Gbps link", "a 15 ms interval") instead of bare exponents.
+"""
+
+from __future__ import annotations
+
+# --- rate units (bits per second) -------------------------------------------
+
+BPS = 1.0
+KBPS = 1e3
+MBPS = 1e6
+GBPS = 1e9
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to the canonical bits/second."""
+    return value * GBPS
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to the canonical bits/second."""
+    return value * MBPS
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits/second to the canonical bits/second."""
+    return value * KBPS
+
+
+# --- size units (bytes) ------------------------------------------------------
+
+BYTE = 1
+KB = 1000
+MB = 1000 * 1000
+GB = 1000 * 1000 * 1000
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def kilobytes(value: float) -> int:
+    """Convert kilobytes (10^3) to bytes, rounded to an integer."""
+    return int(round(value * KB))
+
+
+def megabytes(value: float) -> int:
+    """Convert megabytes (10^6) to bytes, rounded to an integer."""
+    return int(round(value * MB))
+
+
+# --- time units (seconds) ----------------------------------------------------
+
+SECOND = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MS
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * US
+
+
+# --- packet constants ---------------------------------------------------------
+
+#: Default maximum transmission unit in bytes (Ethernet payload + headers).
+MTU_BYTES = 1500
+
+#: Default maximum segment size carried by one data packet, in bytes.
+MSS_BYTES = 1460
+
+#: Size of a pure acknowledgement packet, in bytes.
+ACK_BYTES = 64
+
+#: Per-packet header overhead assumed by the MSS/MTU split, in bytes.
+HEADER_BYTES = MTU_BYTES - MSS_BYTES
+
+
+def transmission_time(size_bytes: float, rate_bps: float) -> float:
+    """Serialization delay of ``size_bytes`` on a link of ``rate_bps``.
+
+    Raises :class:`ValueError` for a non-positive rate because a zero-rate
+    link would silently wedge the event loop.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"link rate must be positive, got {rate_bps}")
+    return (size_bytes * 8.0) / rate_bps
+
+
+def rate_to_bytes_per_second(rate_bps: float) -> float:
+    """Convert a bits/second rate into bytes/second (used by A-Gap math)."""
+    return rate_bps / 8.0
+
+
+def format_rate(rate_bps: float) -> str:
+    """Human-readable rate, e.g. ``format_rate(9.3e9) == '9.30Gbps'``."""
+    if rate_bps >= GBPS:
+        return f"{rate_bps / GBPS:.2f}Gbps"
+    if rate_bps >= MBPS:
+        return f"{rate_bps / MBPS:.2f}Mbps"
+    if rate_bps >= KBPS:
+        return f"{rate_bps / KBPS:.2f}Kbps"
+    return f"{rate_bps:.0f}bps"
+
+
+def format_size(size_bytes: float) -> str:
+    """Human-readable size, e.g. ``format_size(2_000_000) == '2.00MB'``."""
+    if size_bytes >= GB:
+        return f"{size_bytes / GB:.2f}GB"
+    if size_bytes >= MB:
+        return f"{size_bytes / MB:.2f}MB"
+    if size_bytes >= KB:
+        return f"{size_bytes / KB:.2f}KB"
+    return f"{size_bytes:.0f}B"
+
+
+def format_time(seconds: float) -> str:
+    """Human-readable duration, e.g. ``format_time(0.0021) == '2.10ms'``."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= MS:
+        return f"{seconds / MS:.2f}ms"
+    if seconds >= US:
+        return f"{seconds / US:.2f}us"
+    return f"{seconds / NS:.1f}ns"

@@ -1,0 +1,109 @@
+"""Incast (partition-aggregate) workload.
+
+The classic datacenter pattern behind DCTCP's motivation: an aggregator
+fans a request out to N workers, all of whom answer *simultaneously* with
+equal-sized responses toward the single aggregator — a synchronized burst
+that hammers one downlink queue. Rounds repeat with a configurable think
+time.
+
+Used by tests/extensions to study how AQ interacts with synchronized
+bursts: the per-entity A-Gap absorbs a burst up to the AQ limit exactly
+like a dedicated queue would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..stats.meters import percentile
+from ..transport.tcp import TcpConnection
+
+
+@dataclass
+class IncastRound:
+    """Completion record of one fan-in round."""
+
+    start_time: float
+    finish_time: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish_time - self.start_time
+
+
+class IncastApplication:
+    """Repeated synchronized fan-in from ``workers`` to ``aggregator``."""
+
+    def __init__(
+        self,
+        network,
+        aggregator: str,
+        workers: Sequence[str],
+        response_bytes: int,
+        cc_factory: Callable[[], object],
+        rounds: int = 1,
+        think_time: float = 1e-3,
+        start_time: float = 0.0,
+        aq_ingress_id: int = 0,
+        aq_egress_id: int = 0,
+        on_round_complete: Optional[Callable[[IncastRound], None]] = None,
+    ) -> None:
+        if not workers:
+            raise ConfigurationError("incast needs at least one worker")
+        if response_bytes <= 0 or rounds < 1:
+            raise ConfigurationError("response size and rounds must be positive")
+        self.network = network
+        self.aggregator = aggregator
+        self.workers = list(workers)
+        self.response_bytes = response_bytes
+        self.cc_factory = cc_factory
+        self.rounds_remaining = rounds
+        self.think_time = think_time
+        self.aq_ingress_id = aq_ingress_id
+        self.aq_egress_id = aq_egress_id
+        self.on_round_complete = on_round_complete
+        self.completed_rounds: List[IncastRound] = []
+        self._pending = 0
+        self._round_start = 0.0
+        network.sim.schedule_at(start_time, self._start_round)
+
+    def _start_round(self) -> None:
+        self._round_start = self.network.sim.now
+        self._pending = len(self.workers)
+        for worker in self.workers:
+            TcpConnection(
+                self.network,
+                worker,
+                self.aggregator,
+                self.cc_factory(),
+                size_bytes=self.response_bytes,
+                start_time=self.network.sim.now,
+                aq_ingress_id=self.aq_ingress_id,
+                aq_egress_id=self.aq_egress_id,
+                on_complete=self._on_flow_done,
+            )
+
+    def _on_flow_done(self, conn, now: float) -> None:
+        self._pending -= 1
+        if self._pending > 0:
+            return
+        record = IncastRound(self._round_start, now)
+        self.completed_rounds.append(record)
+        if self.on_round_complete is not None:
+            self.on_round_complete(record)
+        self.rounds_remaining -= 1
+        if self.rounds_remaining > 0:
+            self.network.sim.schedule(self.think_time, self._start_round)
+
+    # -- summaries -----------------------------------------------------------------
+
+    @property
+    def all_done(self) -> bool:
+        return self.rounds_remaining == 0 and self._pending == 0
+
+    def round_duration_percentile(self, pct: float) -> float:
+        if not self.completed_rounds:
+            raise ConfigurationError("no rounds completed yet")
+        return percentile([r.duration for r in self.completed_rounds], pct)

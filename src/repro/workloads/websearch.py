@@ -1,0 +1,97 @@
+"""Web-search flow-size distribution (paper Section 5.1 workload).
+
+The paper drives every macro experiment with "a web search workload trace
+that consists of a diverse mix of small and large TCP flows" [DCTCP].
+Without the production trace we sample from a piecewise log-linear CDF
+that approximates the published DCTCP web-search distribution: mostly
+small (few-packet) flows with a heavy tail of multi-megabyte flows.
+
+The default table moderates the extreme tail (2 MB max instead of 30 MB)
+so packet-level simulations finish in reasonable wall time; all paper
+quantities reproduced from it are ratios, which the moderation preserves
+(see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..units import MSS_BYTES
+
+#: (flow size in MSS-sized packets, cumulative probability).
+WEBSEARCH_CDF_PACKETS: List[Tuple[float, float]] = [
+    (1, 0.00),
+    (2, 0.10),
+    (3, 0.20),
+    (5, 0.30),
+    (7, 0.40),
+    (10, 0.53),
+    (15, 0.60),
+    (30, 0.70),
+    (50, 0.80),
+    (70, 0.90),
+    (100, 0.95),
+    (200, 0.98),
+    (400, 0.99),
+    (700, 0.995),
+    (1000, 0.998),
+    (1400, 1.00),
+]
+
+
+class FlowSizeDistribution:
+    """Inverse-CDF sampler over a piecewise log-linear size distribution."""
+
+    def __init__(
+        self,
+        cdf_packets: Sequence[Tuple[float, float]] = tuple(WEBSEARCH_CDF_PACKETS),
+        mss_bytes: int = MSS_BYTES,
+    ) -> None:
+        if len(cdf_packets) < 2:
+            raise ConfigurationError("CDF needs at least two points")
+        probs = [p for _, p in cdf_packets]
+        sizes = [s for s, _ in cdf_packets]
+        if probs != sorted(probs) or probs[0] != 0.0 or probs[-1] != 1.0:
+            raise ConfigurationError("CDF probabilities must rise from 0 to 1")
+        if sizes != sorted(sizes) or sizes[0] <= 0:
+            raise ConfigurationError("CDF sizes must be positive and increasing")
+        self._sizes = sizes
+        self._probs = probs
+        self.mss_bytes = mss_bytes
+
+    def sample_packets(self, rng: random.Random) -> int:
+        """Draw a flow size in packets."""
+        u = rng.random()
+        index = bisect.bisect_right(self._probs, u)
+        if index >= len(self._probs):
+            return int(round(self._sizes[-1]))
+        lo_p, hi_p = self._probs[index - 1], self._probs[index]
+        lo_s, hi_s = self._sizes[index - 1], self._sizes[index]
+        if hi_p == lo_p:
+            return int(round(hi_s))
+        frac = (u - lo_p) / (hi_p - lo_p)
+        # Log-linear interpolation keeps the tail heavy.
+        size = math.exp(
+            math.log(lo_s) + frac * (math.log(hi_s) - math.log(lo_s))
+        )
+        return max(1, int(round(size)))
+
+    def sample_bytes(self, rng: random.Random) -> int:
+        """Draw a flow size in bytes."""
+        return self.sample_packets(rng) * self.mss_bytes
+
+    def mean_bytes(self, samples: int = 20000, seed: int = 7) -> float:
+        """Monte-Carlo estimate of the mean flow size (used to convert a
+        target load into a Poisson arrival rate)."""
+        rng = random.Random(seed)
+        total = sum(self.sample_bytes(rng) for _ in range(samples))
+        return total / samples
+
+
+def websearch_distribution() -> FlowSizeDistribution:
+    """The default web-search distribution instance."""
+    return FlowSizeDistribution()

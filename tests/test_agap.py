@@ -1,0 +1,235 @@
+"""Tests for the A-Gap math (paper Section 3.2-3.3) — including
+property-based checks of Theorem 3.2's streaming recurrence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agap import (
+    AGapTracker,
+    DGapTracker,
+    agap_reference,
+    simulate_discrepancy_control,
+)
+from repro.errors import ConfigurationError
+
+GBPS = 1e9
+
+
+class TestAGapBasics:
+    def test_starts_at_zero(self):
+        tracker = AGapTracker(rate_bps=GBPS)
+        assert tracker.gap == 0.0
+
+    def test_first_packet_sets_gap_to_its_size(self):
+        tracker = AGapTracker(rate_bps=GBPS)
+        assert tracker.on_arrival(0.0, 1500) == 1500
+
+    def test_gap_drains_at_allocated_rate(self):
+        tracker = AGapTracker(rate_bps=8e9)  # 1 GB/s
+        tracker.on_arrival(0.0, 10_000)
+        # After 5 us, 5000 bytes drained; new packet adds 1000.
+        assert tracker.on_arrival(5e-6, 1000) == pytest.approx(6000)
+
+    def test_gap_clamped_at_zero_between_packets(self):
+        tracker = AGapTracker(rate_bps=8e9)
+        tracker.on_arrival(0.0, 1000)
+        # 1 ms is far more than enough to drain 1000 bytes.
+        assert tracker.on_arrival(1e-3, 500) == pytest.approx(500)
+
+    def test_arrival_rate_above_r_grows_gap(self):
+        tracker = AGapTracker(rate_bps=8e6)  # 1 MB/s
+        gaps = [tracker.on_arrival(i * 1e-3, 1500) for i in range(10)]
+        assert gaps == sorted(gaps)
+        assert gaps[-1] > gaps[0]
+
+    def test_arrival_rate_at_r_keeps_gap_constant(self):
+        # One 1000-byte packet per ms at exactly 1000 bytes/ms.
+        tracker = AGapTracker(rate_bps=8e6)
+        gaps = [tracker.on_arrival(i * 1e-3, 1000) for i in range(1, 20)]
+        assert all(g == pytest.approx(1000) for g in gaps)
+
+    def test_peek_does_not_mutate(self):
+        tracker = AGapTracker(rate_bps=8e9)
+        tracker.on_arrival(0.0, 10_000)
+        peeked = tracker.peek(1e-6)
+        assert peeked == pytest.approx(9000)
+        assert tracker.gap == 10_000
+        assert tracker.last_time == 0.0
+
+    def test_undo_arrival_removes_contribution(self):
+        tracker = AGapTracker(rate_bps=GBPS)
+        tracker.on_arrival(0.0, 1500)
+        tracker.undo_arrival(1500)
+        assert tracker.gap == 0.0
+
+    def test_undo_never_goes_negative(self):
+        tracker = AGapTracker(rate_bps=GBPS)
+        tracker.on_arrival(0.0, 100)
+        tracker.undo_arrival(1500)
+        assert tracker.gap == 0.0
+
+    def test_time_cannot_go_backwards(self):
+        tracker = AGapTracker(rate_bps=GBPS)
+        tracker.on_arrival(1.0, 100)
+        with pytest.raises(ConfigurationError):
+            tracker.on_arrival(0.5, 100)
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            AGapTracker(rate_bps=0)
+
+    def test_virtual_queuing_delay_is_gap_over_rate(self):
+        tracker = AGapTracker(rate_bps=8e9)  # 1 GB/s
+        tracker.on_arrival(0.0, 5000)
+        assert tracker.virtual_queuing_delay() == pytest.approx(5e-6)
+
+    def test_set_rate_drains_at_old_rate_first(self):
+        tracker = AGapTracker(rate_bps=8e9)  # 1 GB/s
+        tracker.on_arrival(0.0, 10_000)
+        tracker.set_rate(5e-6, 8e6)  # drained 5000 at old rate, then slow
+        assert tracker.gap == pytest.approx(5000)
+        assert tracker.rate_bps == 8e6
+
+
+class TestTheorem32Properties:
+    """Property-based validation of the streaming recurrence."""
+
+    arrivals = st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e-3, allow_nan=False),
+            st.integers(min_value=64, max_value=9000),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+
+    @given(arrivals, st.floats(min_value=1e6, max_value=1e11))
+    @settings(max_examples=200, deadline=None)
+    def test_streaming_matches_reference(self, gaps_and_sizes, rate):
+        times = []
+        t = 0.0
+        for delta, _ in gaps_and_sizes:
+            t += delta
+            times.append(t)
+        arrivals = [(t, size) for t, (_, size) in zip(times, gaps_and_sizes)]
+        tracker = AGapTracker(rate_bps=rate)
+        streamed = [tracker.on_arrival(t, s) for t, s in arrivals]
+        reference = agap_reference(arrivals, rate)
+        for a, b in zip(streamed, reference):
+            assert a == pytest.approx(b, rel=1e-9, abs=1e-6)
+
+    @given(arrivals, st.floats(min_value=1e6, max_value=1e11))
+    @settings(max_examples=200, deadline=None)
+    def test_gap_always_at_least_last_packet_size(self, gaps_and_sizes, rate):
+        # A(p_k) = max(0, ...) + size >= size: the arriving packet always
+        # contributes itself.
+        tracker = AGapTracker(rate_bps=rate)
+        t = 0.0
+        for delta, size in gaps_and_sizes:
+            t += delta
+            gap = tracker.on_arrival(t, size)
+            assert gap >= size
+
+    @given(arrivals, st.floats(min_value=1e6, max_value=1e11))
+    @settings(max_examples=200, deadline=None)
+    def test_gap_bounded_by_total_arrivals(self, gaps_and_sizes, rate):
+        # Draining only removes; the gap can never exceed the byte sum.
+        tracker = AGapTracker(rate_bps=rate)
+        t, total = 0.0, 0
+        for delta, size in gaps_and_sizes:
+            t += delta
+            total += size
+            assert tracker.on_arrival(t, size) <= total + 1e-6
+
+    @given(arrivals, st.floats(min_value=1e6, max_value=1e11))
+    @settings(max_examples=150, deadline=None)
+    def test_peek_checkpoints_do_not_change_the_gap(self, gaps_and_sizes, rate):
+        """Inserting drain-only observations between arrivals must not
+        change the A-Gap — the recurrence is checkpoint-invariant
+        (this is the substance of the Theorem 3.2 proof)."""
+        tracker_a = AGapTracker(rate_bps=rate)
+        tracker_b = AGapTracker(rate_bps=rate)
+        t = 0.0
+        prev_t = 0.0
+        for delta, size in gaps_and_sizes:
+            t += delta
+            gap_a = tracker_a.on_arrival(t, size)
+            # tracker_b takes an explicit mid-interval checkpoint.
+            mid = prev_t + delta / 2.0
+            checkpoint = tracker_b.peek(mid)
+            tracker_b.gap = checkpoint
+            tracker_b.last_time = mid
+            gap_b = tracker_b.on_arrival(t, size)
+            assert gap_a == pytest.approx(gap_b, rel=1e-9, abs=1e-6)
+            prev_t = t
+
+    @given(
+        st.lists(st.integers(min_value=64, max_value=9000), min_size=1, max_size=50),
+        st.floats(min_value=1e6, max_value=1e10),
+        st.floats(min_value=1e-6, max_value=1e-3),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_rate_limit_bound(self, sizes, rate, spacing):
+        """With a limit enforced, accepted volume over a window is bounded
+        by limit + R * window (the Section 3.2.2 rate-limiting bound)."""
+        limit = 20_000.0
+        tracker = AGapTracker(rate_bps=rate)
+        accepted = 0
+        t = 0.0
+        for size in sizes:
+            gap = tracker.on_arrival(t, size)
+            if gap > limit:
+                tracker.undo_arrival(size)
+            else:
+                accepted += size
+            t += spacing
+        window = t
+        assert accepted <= limit + rate / 8.0 * window + 9000
+
+
+class TestDGapStrawman:
+    def test_d_gap_can_go_negative_in_backlogged_period(self):
+        tracker = DGapTracker(rate_bps=8e9)  # 1 GB/s
+        tracker.on_arrival(0.0, 1000)
+        # Next packet arrives late: drain exceeds arrivals, D goes negative.
+        assert tracker.on_arrival(1e-5, 100) < 0
+
+    def test_d_gap_clamps_only_on_declared_empty_period(self):
+        tracker = DGapTracker(rate_bps=8e9)
+        tracker.on_arrival(0.0, 1000)
+        tracker.on_arrival(1e-5, 100)  # now negative
+        assert tracker.on_empty_until(2e-5) == 0.0
+
+    def test_agap_never_negative_same_sequence(self):
+        d = DGapTracker(rate_bps=8e9)
+        a = AGapTracker(rate_bps=8e9)
+        for i, size in enumerate([1000, 100, 100, 5000, 50]):
+            t = i * 1e-5
+            d.on_arrival(t, size)
+            assert a.on_arrival(t, size) >= 0
+
+
+class TestFigure3FluidModel:
+    def test_strawman_rate_peaks_escalate(self):
+        trace = simulate_discrepancy_control(use_agap=False)
+        peaks = trace.cycle_peaks()
+        assert len(peaks) >= 4
+        # r0 < r1 < r2: each cycle overshoots further (surplus abuse).
+        assert peaks[2] > peaks[0] * 1.01
+        assert peaks[-1] > peaks[0] * 1.2
+
+    def test_agap_rate_peaks_stay_level(self):
+        trace = simulate_discrepancy_control(use_agap=True)
+        peaks = trace.cycle_peaks()
+        assert len(peaks) >= 4
+        # Every peak tops out at the same r0 (within 1%).
+        assert max(peaks) <= min(peaks) * 1.01
+
+    def test_agap_measure_never_negative(self):
+        trace = simulate_discrepancy_control(use_agap=True)
+        assert min(trace.measures) >= 0.0
+
+    def test_strawman_measure_goes_negative(self):
+        trace = simulate_discrepancy_control(use_agap=False)
+        assert min(trace.measures) < 0.0

@@ -1,0 +1,179 @@
+"""Tests for the AugmentedQueue (Algorithms 1 + 2) and feedback policies."""
+
+import pytest
+
+from repro.core.aq import AugmentedQueue
+from repro.core.feedback import (
+    FeedbackPolicy,
+    delay_policy,
+    drop_policy,
+    ecn_policy,
+    policy_for_cc,
+)
+from repro.errors import ConfigurationError
+from repro.net.packet import make_data, make_udp
+
+GBPS = 1e9
+
+
+def data(size=1500, ect=False):
+    return make_data("a", "b", 1, seq=0, size=size, ect=ect)
+
+
+class TestRateLimiting:
+    def test_accepts_below_limit(self):
+        aq = AugmentedQueue(1, rate_bps=GBPS, limit_bytes=10_000)
+        assert aq.process(data(), 0.0)
+        assert aq.stats.dropped_packets == 0
+
+    def test_drops_beyond_limit_and_undoes_gap(self):
+        aq = AugmentedQueue(1, rate_bps=8e6, limit_bytes=3000)  # 1 MB/s
+        assert aq.process(data(1500), 0.0)
+        assert aq.process(data(1500), 1e-6)
+        gap_before = aq.gap_bytes
+        assert not aq.process(data(1500), 2e-6)  # would push gap past 3000
+        # Algorithm 2 line 3: the dropped packet's bytes are removed.
+        assert aq.gap_bytes == pytest.approx(gap_before, rel=0.01)
+        assert aq.stats.dropped_packets == 1
+
+    def test_long_run_rate_converges_to_allocation(self):
+        # Offer 2x the allocated rate; accepted volume must converge to R.
+        rate = 80e6  # 10 MB/s
+        aq = AugmentedQueue(1, rate_bps=rate, limit_bytes=20 * 1500)
+        interval = 1500 * 8 / (2 * rate)  # 2x overspeed
+        t = 0.0
+        for _ in range(4000):
+            aq.process(data(1500), t)
+            t += interval
+        accepted_rate = aq.stats.accepted_bytes * 8 / t
+        assert accepted_rate == pytest.approx(rate, rel=0.05)
+
+    def test_below_allocation_never_drops(self):
+        rate = 80e6
+        aq = AugmentedQueue(1, rate_bps=rate, limit_bytes=20 * 1500)
+        interval = 1500 * 8 / (0.8 * rate)  # 80% offered load
+        t = 0.0
+        for _ in range(2000):
+            aq.process(data(1500), t)
+            t += interval
+        assert aq.stats.dropped_packets == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            AugmentedQueue(0, rate_bps=GBPS, limit_bytes=1000)
+        with pytest.raises(ConfigurationError):
+            AugmentedQueue(1, rate_bps=GBPS, limit_bytes=0)
+
+
+class TestEcnFeedback:
+    def test_marks_ect_above_virtual_threshold(self):
+        aq = AugmentedQueue(
+            1, rate_bps=8e6, limit_bytes=100_000,
+            policy=ecn_policy(ecn_threshold_bytes=2000),
+        )
+        packet1 = data(1500, ect=True)
+        aq.process(packet1, 0.0)
+        assert not packet1.ce  # gap 1500 <= 2000
+        packet2 = data(1500, ect=True)
+        aq.process(packet2, 1e-6)
+        assert packet2.ce  # gap ~3000 > 2000
+        assert aq.stats.marked_packets == 1
+
+    def test_does_not_mark_non_ect(self):
+        aq = AugmentedQueue(
+            1, rate_bps=8e6, limit_bytes=100_000,
+            policy=ecn_policy(ecn_threshold_bytes=100),
+        )
+        packet = data(1500, ect=False)
+        aq.process(packet, 0.0)
+        assert not packet.ce
+
+    def test_marking_independent_of_other_entities(self):
+        # Two AQs: heavy traffic through one never marks the other.
+        heavy = AugmentedQueue(
+            1, rate_bps=8e6, limit_bytes=1_000_000,
+            policy=ecn_policy(ecn_threshold_bytes=1000),
+        )
+        light = AugmentedQueue(
+            2, rate_bps=8e6, limit_bytes=1_000_000,
+            policy=ecn_policy(ecn_threshold_bytes=1000),
+        )
+        for i in range(50):
+            aq_packet = data(1500, ect=True)
+            heavy.process(aq_packet, i * 1e-6)
+        light_packet = data(500, ect=True)
+        light.process(light_packet, 50e-6)
+        assert not light_packet.ce
+
+
+class TestDelayFeedback:
+    def test_virtual_delay_accumulates_on_packet(self):
+        aq = AugmentedQueue(1, rate_bps=8e9, limit_bytes=1_000_000,
+                            policy=delay_policy())
+        packet = data(1500)
+        aq.process(packet, 0.0)
+        # gap = 1500 bytes at 1 GB/s -> 1.5 us of virtual delay.
+        assert packet.virtual_delay == pytest.approx(1.5e-6)
+
+    def test_virtual_delay_adds_across_hops(self):
+        hop1 = AugmentedQueue(1, rate_bps=8e9, limit_bytes=1_000_000,
+                              policy=delay_policy())
+        hop2 = AugmentedQueue(1, rate_bps=8e9, limit_bytes=1_000_000,
+                              policy=delay_policy())
+        packet = data(1500)
+        hop1.process(packet, 0.0)
+        hop2.process(packet, 0.0)
+        assert packet.virtual_delay == pytest.approx(3.0e-6)
+
+    def test_drop_policy_leaves_headers_alone(self):
+        aq = AugmentedQueue(1, rate_bps=8e9, limit_bytes=1_000_000)
+        packet = data(1500, ect=True)
+        aq.process(packet, 0.0)
+        assert not packet.ce
+        assert packet.virtual_delay == 0.0
+
+
+class TestRateUpdates:
+    def test_set_rate_preserves_drained_gap(self):
+        aq = AugmentedQueue(1, rate_bps=8e9, limit_bytes=1_000_000)
+        aq.process(data(10_000), 0.0)
+        aq.set_rate(5e-6, 8e6)  # 5000 bytes drained at the old 1 GB/s
+        assert aq.gap_bytes == pytest.approx(5000)
+        assert aq.rate_bps == 8e6
+
+    def test_record_delays_collects_samples(self):
+        aq = AugmentedQueue(1, rate_bps=8e9, limit_bytes=1_000_000,
+                            record_delays=True)
+        aq.process(data(1500), 0.0)
+        aq.process(data(1500), 1e-7)
+        assert len(aq.stats.delay_samples) == 2
+        assert aq.stats.delay_samples[1] > aq.stats.delay_samples[0]
+
+
+class TestFeedbackPolicies:
+    def test_ecn_requires_threshold(self):
+        with pytest.raises(ConfigurationError):
+            FeedbackPolicy(kind="ecn")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FeedbackPolicy(kind="smoke-signals")
+
+    def test_policy_for_cc_maps_families(self):
+        assert policy_for_cc("cubic").kind == "drop"
+        assert policy_for_cc("newreno").kind == "drop"
+        assert policy_for_cc("illinois").kind == "drop"
+        assert policy_for_cc("dctcp", ecn_threshold_bytes=1000).kind == "ecn"
+        assert policy_for_cc("swift").kind == "delay"
+
+    def test_policy_for_dctcp_without_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            policy_for_cc("dctcp")
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ecn_policy(-5)
+
+    def test_drop_policy_is_default(self):
+        aq = AugmentedQueue(1, rate_bps=GBPS, limit_bytes=1000)
+        assert aq.policy.kind == "drop"

@@ -1,0 +1,267 @@
+"""Unit tests for the congestion-control algorithms (no network needed)."""
+
+import pytest
+
+from repro.cc.base import AckContext, DELAY_BASED, DROP_BASED, ECN_BASED, MIN_CWND
+from repro.cc.cubic import Cubic
+from repro.cc.dctcp import Dctcp
+from repro.cc.illinois import Illinois
+from repro.cc.newreno import NewReno
+from repro.cc.registry import available_ccs, cc_kind, make_cc, register_cc
+from repro.cc.swift import Swift
+from repro.errors import ConfigurationError
+
+
+def ack(
+    now=0.0,
+    acked=1,
+    rtt=100e-6,
+    base_rtt=60e-6,
+    ece=False,
+    virtual_delay=0.0,
+    snd_una=0,
+):
+    return AckContext(
+        now=now,
+        acked_packets=acked,
+        acked_bytes=acked * 1460,
+        rtt_sample=rtt,
+        base_rtt=base_rtt,
+        ece=ece,
+        virtual_delay=virtual_delay,
+        snd_una=snd_una,
+        flightsize_packets=10,
+    )
+
+
+class TestNewReno:
+    def test_slow_start_doubles_per_window(self):
+        cc = NewReno()
+        cc.cwnd, cc.ssthresh = 10.0, float("inf")
+        cc.on_ack(ack(acked=10))
+        assert cc.cwnd == pytest.approx(20.0)
+
+    def test_congestion_avoidance_one_per_rtt(self):
+        cc = NewReno()
+        cc.cwnd, cc.ssthresh = 10.0, 5.0
+        cc.on_ack(ack(acked=10))
+        assert cc.cwnd == pytest.approx(11.0, rel=0.01)
+
+    def test_loss_halves_window(self):
+        cc = NewReno()
+        cc.cwnd = 20.0
+        cc.on_packet_loss(0.0)
+        assert cc.cwnd == pytest.approx(10.0)
+        assert cc.ssthresh == pytest.approx(10.0)
+
+    def test_rto_collapses_to_one(self):
+        cc = NewReno()
+        cc.cwnd = 20.0
+        cc.on_rto(0.0)
+        assert cc.cwnd == 1.0
+
+    def test_loss_floor_at_two(self):
+        cc = NewReno()
+        cc.cwnd = 1.0
+        cc.on_packet_loss(0.0)
+        assert cc.cwnd == 2.0
+
+
+class TestCubic:
+    def test_loss_applies_beta(self):
+        cc = Cubic()
+        cc.cwnd, cc.ssthresh = 100.0, 1.0
+        cc.on_packet_loss(0.0)
+        assert cc.cwnd == pytest.approx(70.0)
+
+    def test_recovers_toward_w_max(self):
+        cc = Cubic()
+        cc.cwnd, cc.ssthresh = 100.0, 1.0
+        cc.on_packet_loss(0.0)
+        t = 0.0
+        for _ in range(200):
+            t += 100e-6
+            cc.on_ack(ack(now=t, acked=int(max(cc.cwnd, 1))))
+        # Cubic should have grown back toward (and past) the plateau.
+        assert cc.cwnd > 85.0
+
+    def test_growth_accelerates_past_plateau(self):
+        cc = Cubic()
+        cc.cwnd, cc.ssthresh = 50.0, 1.0
+        cc.on_packet_loss(0.0)  # w_max=50, cwnd=35
+        samples = []
+        t = 0.0
+        for _ in range(400):
+            t += 100e-6
+            cc.on_ack(ack(now=t, acked=int(max(cc.cwnd, 1))))
+            samples.append(cc.cwnd)
+        assert samples[-1] > 50.0  # grew beyond the previous w_max
+
+    def test_fast_convergence_lowers_w_max(self):
+        cc = Cubic()
+        cc.cwnd, cc.ssthresh = 100.0, 1.0
+        cc.on_packet_loss(0.0)
+        w_max_first = cc._w_max
+        cc.on_packet_loss(0.0)  # second loss below w_max: fast convergence
+        assert cc._w_max < w_max_first
+
+
+class TestDctcp:
+    def test_no_marks_grows_like_reno(self):
+        cc = Dctcp()
+        cc.cwnd, cc.ssthresh = 10.0, float("inf")
+        cc.on_ack(ack(acked=10, snd_una=10 * 1460))
+        assert cc.cwnd == pytest.approx(20.0)
+
+    def test_alpha_decays_without_marks(self):
+        cc = Dctcp()
+        alpha0 = cc.alpha
+        snd_una = 0
+        for i in range(20):
+            snd_una += 15 * 1460
+            cc.on_ack(ack(acked=15, snd_una=snd_una))
+        assert cc.alpha < alpha0
+
+    def test_mark_reduces_proportionally_to_alpha(self):
+        cc = Dctcp()
+        cc.cwnd, cc.ssthresh = 100.0, 1.0
+        cc.alpha = 0.5
+        cc._window_end = 1_000_000  # keep the estimator window open
+        cc.on_ack(ack(acked=1, ece=True, snd_una=1460))
+        # cwnd * (1 - alpha/2) = 100 * 0.75
+        assert cc.cwnd == pytest.approx(75.0, rel=0.01)
+
+    def test_at_most_one_reduction_per_window(self):
+        cc = Dctcp()
+        cc.cwnd, cc.ssthresh = 100.0, 1.0
+        cc.alpha = 1.0
+        cc._window_end = 1_000_000
+        cc.on_ack(ack(acked=1, ece=True, snd_una=1460))
+        after_first = cc.cwnd
+        cc.on_ack(ack(acked=1, ece=True, snd_una=2920))
+        # Second marked ACK in the same window grows instead of re-reducing.
+        assert cc.cwnd >= after_first
+
+    def test_is_ecn_capable(self):
+        assert Dctcp.ecn_capable
+        assert Dctcp.kind == ECN_BASED
+
+
+class TestSwift:
+    def test_grows_below_target(self):
+        cc = Swift(target_delay=100e-6)
+        cc.cwnd = 10.0
+        cc.on_ack(ack(rtt=80e-6, base_rtt=60e-6))  # 20us < 100us target
+        assert cc.cwnd > 10.0
+
+    def test_decreases_above_target(self):
+        cc = Swift(target_delay=20e-6)
+        cc.cwnd = 10.0
+        cc.on_ack(ack(now=1.0, rtt=200e-6, base_rtt=60e-6))  # 140us >> 20us
+        assert cc.cwnd < 10.0
+
+    def test_at_most_one_decrease_per_rtt(self):
+        cc = Swift(target_delay=20e-6)
+        cc.cwnd = 10.0
+        cc.on_ack(ack(now=1.0, rtt=200e-6, base_rtt=60e-6))
+        first = cc.cwnd
+        cc.on_ack(ack(now=1.0 + 50e-6, rtt=200e-6, base_rtt=60e-6))
+        assert cc.cwnd == first  # within the same RTT: no second cut
+
+    def test_virtual_delay_mode_uses_echo(self):
+        cc = Swift(target_delay=50e-6, use_virtual_delay=True)
+        cc.cwnd = 10.0
+        # Large measured RTT but zero virtual delay: must GROW (the AQ says
+        # this entity is within its allocation).
+        cc.on_ack(ack(now=1.0, rtt=500e-6, base_rtt=60e-6, virtual_delay=0.0))
+        assert cc.cwnd > 10.0
+
+    def test_virtual_delay_mode_decreases_on_echoed_delay(self):
+        cc = Swift(target_delay=50e-6, use_virtual_delay=True)
+        cc.cwnd = 10.0
+        cc.on_ack(ack(now=1.0, rtt=70e-6, base_rtt=60e-6, virtual_delay=400e-6))
+        assert cc.cwnd < 10.0
+
+    def test_cwnd_can_fall_below_one(self):
+        cc = Swift(target_delay=10e-6)
+        cc.cwnd = 0.5
+        t = 1.0
+        for i in range(20):
+            t += 1e-3
+            cc.on_ack(ack(now=t, rtt=500e-6, base_rtt=60e-6))
+        assert MIN_CWND <= cc.cwnd < 1.0
+
+    def test_max_decrease_bounded(self):
+        cc = Swift(target_delay=1e-6)
+        cc.cwnd = 10.0
+        cc.on_ack(ack(now=1.0, rtt=10e-3, base_rtt=60e-6))
+        assert cc.cwnd >= 10.0 * (1.0 - Swift.MAX_MDF) - 1e-9
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            Swift(target_delay=0.0)
+
+
+class TestIllinois:
+    def test_low_delay_uses_max_alpha(self):
+        cc = Illinois()
+        cc.cwnd, cc.ssthresh = 10.0, 1.0
+        # Establish a high max queueing delay, then run in the low-delay
+        # regime: alpha should recover toward its maximum.
+        cc.on_ack(ack(rtt=1060e-6, base_rtt=60e-6))
+        for _ in range(200):
+            cc.on_ack(ack(rtt=61e-6, base_rtt=60e-6))
+        assert cc.alpha > 5.0
+
+    def test_high_delay_shrinks_alpha(self):
+        cc = Illinois()
+        cc.cwnd, cc.ssthresh = 10.0, 1.0
+        cc.on_ack(ack(rtt=1060e-6, base_rtt=60e-6))  # establish max delay
+        for _ in range(50):
+            cc.on_ack(ack(rtt=1060e-6, base_rtt=60e-6))
+        assert cc.alpha < 1.0
+
+    def test_high_delay_raises_beta(self):
+        cc = Illinois()
+        cc.on_ack(ack(rtt=1060e-6, base_rtt=60e-6))
+        for _ in range(50):
+            cc.on_ack(ack(rtt=1060e-6, base_rtt=60e-6))
+        assert cc.beta == pytest.approx(Illinois.BETA_MAX)
+
+    def test_loss_uses_current_beta(self):
+        cc = Illinois()
+        cc.cwnd = 100.0
+        cc._beta = 0.25
+        cc.on_packet_loss(0.0)
+        assert cc.cwnd == pytest.approx(75.0)
+
+
+class TestRegistry:
+    def test_all_paper_ccs_available(self):
+        names = available_ccs()
+        for name in ("cubic", "newreno", "illinois", "dctcp", "swift"):
+            assert name in names
+
+    def test_kinds_match_paper_families(self):
+        assert cc_kind("cubic") == DROP_BASED
+        assert cc_kind("newreno") == DROP_BASED
+        assert cc_kind("illinois") == DROP_BASED
+        assert cc_kind("dctcp") == ECN_BASED
+        assert cc_kind("swift") == DELAY_BASED
+
+    def test_make_cc_forwards_kwargs(self):
+        cc = make_cc("swift", target_delay=123e-6)
+        assert cc.target_delay == pytest.approx(123e-6)
+
+    def test_unknown_cc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cc("bbr-but-not-really")
+
+    def test_register_custom_cc(self):
+        class MyCc(NewReno):
+            pass
+
+        register_cc("test-custom-cc", MyCc)
+        assert isinstance(make_cc("test-custom-cc"), MyCc)
+        with pytest.raises(ConfigurationError):
+            register_cc("test-custom-cc", MyCc)

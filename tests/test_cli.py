@@ -1,0 +1,63 @@
+"""Tests for the command-line interface (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_every_subcommand_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        commands = set(sub.choices)
+        for expected in (
+            "fig1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "table2", "table3", "table4", "fig11", "fig12", "share",
+        ):
+            assert expected in commands
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_approach(self):
+        with pytest.raises(SystemExit):
+            main(["fig7", "--approach", "magic"])
+
+
+class TestFastCommands:
+    def test_fig3_runs(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "strawman" in out and "A-Gap" in out
+
+    def test_fig11_runs(self, capsys):
+        assert main(["fig11"]) == 0
+        assert "pipeline stages" in capsys.readouterr().out
+
+    def test_fig12_runs(self, capsys):
+        assert main(["fig12", "--counts", "1000", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "1,000,000" in out
+
+    def test_share_runs_small(self, capsys):
+        code = main([
+            "share", "--ccs", "cubic", "udp",
+            "--bottleneck-gbps", "0.5", "--duration-ms", "20",
+            "--flows", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+
+    def test_fig8_runs_small(self, capsys):
+        code = main([
+            "fig8", "--flows", "4",
+            "--bottleneck-gbps", "0.5", "--duration-ms", "20",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PQ" in out and "AQ" in out

@@ -1,0 +1,192 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import PeriodicTask, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.3, fired.append, "c")
+        sim.schedule(0.1, fired.append, "a")
+        sim.schedule(0.2, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for label in "abcde":
+            sim.schedule(0.5, fired.append, label)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.25, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.25]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        sim.run()
+        event_times = []
+        sim.schedule_at(0.5, lambda: event_times.append(sim.now))
+        sim.run()
+        assert event_times == [0.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(0.1, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == pytest.approx(0.3)
+
+
+class TestRunUntil:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.1, fired.append, "early")
+        sim.schedule(0.9, fired.append, "late")
+        sim.run(until=0.5)
+        assert fired == ["early"]
+        assert sim.now == 0.5
+
+    def test_later_events_survive_for_next_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.9, fired.append, "late")
+        sim.run(until=0.5)
+        sim.run(until=1.0)
+        assert fired == ["late"]
+
+    def test_clock_advances_to_until_even_when_empty(self):
+        sim = Simulator()
+        sim.run(until=2.0)
+        assert sim.now == 2.0
+
+    def test_max_events_caps_execution(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(0.1 * (i + 1), fired.append, i)
+        processed = sim.run(max_events=4)
+        assert processed == 4
+        assert fired == [0, 1, 2, 3]
+
+    def test_run_returns_processed_count(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(0.1, lambda: None)
+        assert sim.run() == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(0.1, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(0.1, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_cancelled_events_not_counted_pending(self):
+        sim = Simulator()
+        e1 = sim.schedule(0.1, lambda: None)
+        sim.schedule(0.2, lambda: None)
+        e1.cancel()
+        assert sim.pending_events() == 1
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        e1 = sim.schedule(0.1, lambda: None)
+        sim.schedule(0.7, lambda: None)
+        e1.cancel()
+        assert sim.peek_time() == pytest.approx(0.7)
+
+    def test_peek_time_empty_calendar(self):
+        assert Simulator().peek_time() is None
+
+
+class TestPeriodicTask:
+    def test_fires_every_interval(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTask(sim, 0.1, lambda: ticks.append(sim.now))
+        sim.run(until=0.35)
+        assert ticks == [pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.3)]
+
+    def test_stop_prevents_future_fires(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 0.1, lambda: ticks.append(sim.now))
+        sim.run(until=0.15)
+        task.stop()
+        sim.run(until=1.0)
+        assert len(ticks) == 1
+
+    def test_stop_from_inside_callback(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                task.stop()
+
+        task = PeriodicTask(sim, 0.1, tick)
+        sim.run(until=1.0)
+        assert len(ticks) == 2
+
+    def test_custom_start_delay(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTask(sim, 0.1, lambda: ticks.append(sim.now), start_delay=0.0)
+        sim.run(until=0.25)
+        assert ticks[0] == pytest.approx(0.0)
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            PeriodicTask(Simulator(), 0.0, lambda: None)
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+
+        def nested():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(0.1, nested)
+        sim.run()

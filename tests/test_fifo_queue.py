@@ -1,0 +1,128 @@
+"""Unit tests for the physical FIFO queue."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.packet import make_data, make_udp
+from repro.queues.fifo import PhysicalFifoQueue
+
+
+def _pkt(size=1500, ect=False, flow=1):
+    packet = make_data("a", "b", flow, seq=0, size=size, ect=ect)
+    return packet
+
+
+class TestFifoOrdering:
+    def test_fifo_order_preserved(self):
+        queue = PhysicalFifoQueue(limit_bytes=10_000)
+        packets = [_pkt(100) for _ in range(5)]
+        for packet in packets:
+            assert queue.enqueue(packet, 0.0)
+        out = [queue.dequeue(1.0) for _ in range(5)]
+        assert [p.packet_id for p in out] == [p.packet_id for p in packets]
+
+    def test_dequeue_empty_returns_none(self):
+        queue = PhysicalFifoQueue(limit_bytes=1000)
+        assert queue.dequeue(0.0) is None
+
+    def test_byte_accounting(self):
+        queue = PhysicalFifoQueue(limit_bytes=10_000)
+        queue.enqueue(_pkt(1500), 0.0)
+        queue.enqueue(_pkt(500), 0.0)
+        assert queue.bytes_queued == 2000
+        assert queue.packets_queued == 2
+        queue.dequeue(0.0)
+        assert queue.bytes_queued == 500
+        assert len(queue) == 1
+        assert not queue.is_empty
+
+
+class TestDropTail:
+    def test_drop_when_full(self):
+        queue = PhysicalFifoQueue(limit_bytes=3000)
+        assert queue.enqueue(_pkt(1500), 0.0)
+        assert queue.enqueue(_pkt(1500), 0.0)
+        assert not queue.enqueue(_pkt(1500), 0.0)
+        assert queue.stats.dropped_packets == 1
+        assert queue.stats.dropped_bytes == 1500
+
+    def test_partial_fit_rejected(self):
+        # 1000 bytes free but a 1500-byte packet must not squeeze in.
+        queue = PhysicalFifoQueue(limit_bytes=2500)
+        queue.enqueue(_pkt(1500), 0.0)
+        assert not queue.enqueue(_pkt(1500), 0.0)
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalFifoQueue(limit_bytes=0)
+
+
+class TestEcnMarking:
+    def test_marks_ect_packets_above_threshold(self):
+        queue = PhysicalFifoQueue(limit_bytes=100_000, ecn_threshold_bytes=3000)
+        for _ in range(2):
+            queue.enqueue(_pkt(1500, ect=True), 0.0)
+        packet = _pkt(1500, ect=True)
+        queue.enqueue(packet, 0.0)
+        assert packet.ce
+        assert queue.stats.ecn_marked_packets == 1
+
+    def test_no_marking_below_threshold(self):
+        queue = PhysicalFifoQueue(limit_bytes=100_000, ecn_threshold_bytes=3000)
+        packet = _pkt(1500, ect=True)
+        queue.enqueue(packet, 0.0)
+        assert not packet.ce
+
+    def test_non_ect_red_dropped_at_high_occupancy(self):
+        # At >= 2x threshold the RED ramp reaches probability 1.
+        queue = PhysicalFifoQueue(limit_bytes=100_000, ecn_threshold_bytes=3000)
+        for _ in range(4):
+            queue.enqueue(_pkt(1500, ect=True), 0.0)
+        assert not queue.enqueue(_pkt(1500, ect=False), 0.0)
+        assert queue.stats.dropped_packets == 1
+
+    def test_non_ect_survives_when_red_disabled(self):
+        queue = PhysicalFifoQueue(
+            limit_bytes=100_000, ecn_threshold_bytes=3000, red_drop_non_ect=False
+        )
+        for _ in range(6):
+            queue.enqueue(_pkt(1500, ect=True), 0.0)
+        assert queue.enqueue(_pkt(1500, ect=False), 0.0)
+
+    def test_udp_packets_never_marked(self):
+        queue = PhysicalFifoQueue(limit_bytes=100_000, ecn_threshold_bytes=1000)
+        filler = make_udp("a", "b", 1, 1500)
+        queue.enqueue(filler, 0.0)
+        packet = make_udp("a", "b", 1, 1500)
+        queue.enqueue(packet, 0.0)
+        assert not packet.ce  # not ECT, cannot be marked
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalFifoQueue(limit_bytes=1000, ecn_threshold_bytes=-1)
+
+
+class TestStats:
+    def test_queuing_delay_recorded(self):
+        queue = PhysicalFifoQueue(limit_bytes=10_000, collect_delays=True)
+        queue.enqueue(_pkt(1500), 1.0)
+        queue.dequeue(1.25)
+        assert queue.stats.queuing_delays == [pytest.approx(0.25)]
+
+    def test_max_bytes_queued_tracked(self):
+        queue = PhysicalFifoQueue(limit_bytes=10_000)
+        queue.enqueue(_pkt(1500), 0.0)
+        queue.enqueue(_pkt(1500), 0.0)
+        queue.dequeue(0.0)
+        assert queue.stats.max_bytes_queued == 3000
+
+    def test_enqueue_dequeue_counters(self):
+        queue = PhysicalFifoQueue(limit_bytes=10_000)
+        queue.enqueue(_pkt(1000), 0.0)
+        queue.enqueue(_pkt(2000), 0.0)
+        queue.dequeue(0.0)
+        stats = queue.stats
+        assert stats.enqueued_packets == 2
+        assert stats.enqueued_bytes == 3000
+        assert stats.dequeued_packets == 1
+        assert stats.dequeued_bytes == 1000

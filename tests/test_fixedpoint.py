@@ -1,0 +1,141 @@
+"""Tests for the hardware-style fixed-point A-Gap and the 3-byte rate
+encoding — including the float-vs-integer equivalence property that
+justifies simulating with floats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agap import AGapTracker
+from repro.core.fixedpoint import (
+    FixedPointAGap,
+    MAX_RATE_BYTES_PER_S,
+    MIN_RATE_BYTES_PER_S,
+    decode_rate,
+    encode_rate,
+    rate_quantization_error,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRateEncoding:
+    def test_round_trip_exact_for_powers_of_two(self):
+        mantissa, exponent = encode_rate(1 << 24)
+        assert decode_rate(mantissa, exponent) == 1 << 24
+
+    def test_paper_range_endpoints(self):
+        for rate in (MIN_RATE_BYTES_PER_S, MAX_RATE_BYTES_PER_S):
+            mantissa, exponent = encode_rate(rate)
+            assert decode_rate(mantissa, exponent) == pytest.approx(rate, rel=1e-4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_rate(MIN_RATE_BYTES_PER_S / 2)
+        with pytest.raises(ConfigurationError):
+            encode_rate(MAX_RATE_BYTES_PER_S * 2)
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decode_rate(1 << 16, 0)
+        with pytest.raises(ConfigurationError):
+            decode_rate(1, 256)
+
+    @given(st.floats(min_value=MIN_RATE_BYTES_PER_S, max_value=MAX_RATE_BYTES_PER_S))
+    @settings(max_examples=200, deadline=None)
+    def test_quantization_error_bounded(self, rate):
+        # 16-bit mantissa: relative error below 2^-16.
+        assert rate_quantization_error(rate) < 2 ** -16
+
+
+class TestFixedPointGap:
+    def test_first_packet(self):
+        gap = FixedPointAGap(rate_bytes_per_s=125_000_000)  # 1 Gbps
+        assert gap.on_arrival(0, 1500) == 1500
+
+    def test_drain_is_integer_exact(self):
+        gap = FixedPointAGap(rate_bytes_per_s=decode_rate(*encode_rate(1e9)))
+        gap.on_arrival(0, 10_000)
+        # After 5 us at 1 GB/s: 5000 bytes drained.
+        assert gap.on_arrival(5_000, 1000) == pytest.approx(6000, abs=2)
+
+    def test_saturating_subtract(self):
+        gap = FixedPointAGap(rate_bytes_per_s=1e9)
+        gap.on_arrival(0, 1000)
+        assert gap.on_arrival(1_000_000, 500) == 500  # fully drained + new
+
+    def test_undo_arrival_saturates(self):
+        gap = FixedPointAGap(rate_bytes_per_s=1e9)
+        gap.on_arrival(0, 100)
+        gap.undo_arrival(1500)
+        assert gap.gap_bytes == 0
+
+    def test_time_monotonicity_enforced(self):
+        gap = FixedPointAGap(rate_bytes_per_s=1e9)
+        gap.on_arrival(1000, 100)
+        with pytest.raises(ConfigurationError):
+            gap.on_arrival(999, 100)
+
+    def test_virtual_delay_integer_ns(self):
+        rate = decode_rate(*encode_rate(1e9))
+        gap = FixedPointAGap(rate_bytes_per_s=rate)
+        gap.on_arrival(0, rate // 1000)  # 1 ms worth of bytes
+        assert gap.virtual_queuing_delay_ns() == pytest.approx(1_000_000, rel=1e-3)
+
+
+class TestFloatEquivalence:
+    """The simulator's float A-Gap and the hardware's integer A-Gap must
+    agree within quantization error: one packet of slack plus the 3-byte
+    rate encoding's 2^-16 relative rate error integrated over time."""
+
+    arrivals = st.lists(
+        st.tuples(
+            st.integers(min_value=100, max_value=2_000_000),  # gap ns
+            st.integers(min_value=64, max_value=9000),  # size
+        ),
+        min_size=1,
+        max_size=80,
+    )
+
+    @given(arrivals, st.floats(min_value=2e6, max_value=5e11))
+    @settings(max_examples=150, deadline=None)
+    def test_integer_tracks_float(self, gaps_and_sizes, rate_bytes):
+        # Use the decoded rate for BOTH so only arithmetic differs.
+        exact_rate = decode_rate(*encode_rate(rate_bytes))
+        fixed = FixedPointAGap(rate_bytes_per_s=exact_rate)
+        floaty = AGapTracker(rate_bps=exact_rate * 8.0)
+        t_ns = 0
+        for delta_ns, size in gaps_and_sizes:
+            t_ns += delta_ns
+            gap_fixed = fixed.on_arrival(t_ns, size)
+            gap_float = floaty.on_arrival(t_ns / 1e9, size)
+            # Integer truncation of the drain term can only leave the
+            # fixed-point gap >= the float gap, by < 1 byte per step
+            # accumulated until a saturation resets both to "size".
+            assert gap_fixed >= gap_float - 1e-6
+            assert gap_fixed - gap_float <= len(gaps_and_sizes) + 1
+
+    def test_accepted_rate_identical_in_steady_state(self):
+        """At the limit boundary the two implementations can oscillate in
+        anti-phase (a one-byte truncation offset flips individual
+        boundary decisions), but the *accepted rate* — the quantity the
+        paper guarantees — must match to within a packet or two."""
+        exact_rate = decode_rate(*encode_rate(125_000_000))
+        fixed = FixedPointAGap(rate_bytes_per_s=exact_rate)
+        floaty = AGapTracker(rate_bps=exact_rate * 8.0)
+        limit = 15_000
+        accepted_fixed = accepted_float = 0
+        t_ns = 0
+        for _ in range(2000):
+            t_ns += 6_000  # 1500 B every 6 us = 2x the allocated rate
+            if fixed.on_arrival(t_ns, 1500) > limit:
+                fixed.undo_arrival(1500)
+            else:
+                accepted_fixed += 1500
+            if floaty.on_arrival(t_ns / 1e9, 1500) > limit:
+                floaty.undo_arrival(1500)
+            else:
+                accepted_float += 1500
+        assert accepted_fixed == pytest.approx(accepted_float, rel=0.02)
+        # And both enforce the allocated rate over the window.
+        window_s = t_ns / 1e9
+        assert accepted_fixed / window_s == pytest.approx(exact_rate, rel=0.05)

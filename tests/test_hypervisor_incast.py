@@ -1,0 +1,146 @@
+"""Tests for hypervisor tagging and the incast workload."""
+
+import pytest
+
+from repro.cc.registry import make_cc
+from repro.core.controller import AqController
+from repro.errors import ConfigurationError
+from repro.net.hypervisor import Hypervisor, deploy_vm_profiles
+from repro.net.packet import make_udp
+from repro.stats.meters import ThroughputMeter
+from repro.topology.star import Star, StarConfig
+from repro.transport.tcp import TcpConnection
+from repro.transport.udp import UdpFlow
+from repro.workloads.incast import IncastApplication
+from repro.units import gbps
+
+
+def star(num_hosts=4, rate=gbps(1)):
+    return Star(StarConfig(num_hosts=num_hosts, link_rate_bps=rate))
+
+
+class TestHypervisorTagging:
+    def test_tags_outbound(self):
+        s = star()
+        hypervisor = Hypervisor(s.network.hosts["vm0"])
+        hypervisor.set_outbound(7)
+        seen = []
+        s.switch.add_ingress_hook(lambda p, now: seen.append(p.aq_ingress_id) or True)
+        s.network.hosts["vm0"].send(make_udp("vm0", "vm1", 1, 1500))
+        s.network.run(until=0.01)
+        assert seen == [7]
+        assert hypervisor.tagged_packets == 1
+
+    def test_tags_inbound_by_destination(self):
+        s = star()
+        hypervisor = Hypervisor(s.network.hosts["vm0"])
+        hypervisor.set_inbound_of("vm1", 9)
+        seen = []
+        s.switch.add_ingress_hook(lambda p, now: seen.append(p.aq_egress_id) or True)
+        s.network.hosts["vm0"].send(make_udp("vm0", "vm1", 1, 1500))
+        s.network.hosts["vm0"].send(make_udp("vm0", "vm2", 2, 1500))
+        s.network.run(until=0.01)
+        assert seen == [9, 0]  # only vm1-bound traffic tagged
+
+    def test_existing_tags_respected(self):
+        s = star()
+        hypervisor = Hypervisor(s.network.hosts["vm0"])
+        hypervisor.set_outbound(7)
+        packet = make_udp("vm0", "vm1", 1, 1500)
+        packet.aq_ingress_id = 42  # application-managed
+        seen = []
+        s.switch.add_ingress_hook(lambda p, now: seen.append(p.aq_ingress_id) or True)
+        s.network.hosts["vm0"].send(packet)
+        s.network.run(until=0.01)
+        assert seen == [42]
+
+    def test_double_install_rejected(self):
+        s = star()
+        Hypervisor(s.network.hosts["vm0"])
+        with pytest.raises(ConfigurationError):
+            Hypervisor(s.network.hosts["vm0"])
+
+    def test_negative_id_rejected(self):
+        s = star()
+        hypervisor = Hypervisor(s.network.hosts["vm0"])
+        with pytest.raises(ConfigurationError):
+            hypervisor.set_outbound(-1)
+
+    def test_deploy_vm_profiles_enforces_table3_without_manual_wiring(self):
+        s = star(num_hosts=4, rate=gbps(1))
+        controller = AqController(s.network)
+        deploy_vm_profiles(controller, s, profile_rate_bps=gbps(0.2),
+                           limit_bytes=100 * 1500)
+        inbound = ThroughputMeter(s.network.sim, 2e-3)
+        # Three blasting senders toward vm0; transports know nothing of AQ.
+        for sender in ("vm1", "vm2", "vm3"):
+            UdpFlow(s.network, sender, "vm0", rate_bps=gbps(0.5),
+                    on_deliver=inbound.add)
+        s.network.run(until=0.05)
+        rate = inbound.mean_rate(after=0.01)
+        # Without AQ inbound would be ~1G (3 x 0.5 capped by the link);
+        # the hypervisor-tagged egress AQ pins it at the 0.2G profile.
+        assert rate < 1.3 * gbps(0.2)
+
+
+class TestIncast:
+    def test_round_completes(self):
+        s = star(num_hosts=5)
+        app = IncastApplication(
+            s.network, aggregator="vm0", workers=["vm1", "vm2", "vm3", "vm4"],
+            response_bytes=50_000, cc_factory=lambda: make_cc("cubic"),
+            rounds=1,
+        )
+        s.network.run(until=1.0)
+        assert app.all_done
+        assert len(app.completed_rounds) == 1
+        assert app.completed_rounds[0].duration > 0
+
+    def test_multiple_rounds_with_think_time(self):
+        s = star(num_hosts=4)
+        app = IncastApplication(
+            s.network, aggregator="vm0", workers=["vm1", "vm2", "vm3"],
+            response_bytes=30_000, cc_factory=lambda: make_cc("dctcp"),
+            rounds=3, think_time=2e-3,
+        )
+        s.network.run(until=2.0)
+        assert app.all_done
+        assert len(app.completed_rounds) == 3
+        gaps = [
+            b.start_time - a.finish_time
+            for a, b in zip(app.completed_rounds, app.completed_rounds[1:])
+        ]
+        assert all(g == pytest.approx(2e-3, abs=1e-4) for g in gaps)
+
+    def test_percentile_summary(self):
+        s = star(num_hosts=4)
+        app = IncastApplication(
+            s.network, aggregator="vm0", workers=["vm1", "vm2", "vm3"],
+            response_bytes=30_000, cc_factory=lambda: make_cc("cubic"),
+            rounds=4, think_time=1e-3,
+        )
+        s.network.run(until=2.0)
+        assert app.round_duration_percentile(50.0) > 0
+
+    def test_fan_in_scales_round_duration(self):
+        durations = {}
+        for n_workers in (2, 6):
+            s = star(num_hosts=n_workers + 1)
+            app = IncastApplication(
+                s.network, aggregator="vm0",
+                workers=[f"vm{i}" for i in range(1, n_workers + 1)],
+                response_bytes=100_000, cc_factory=lambda: make_cc("cubic"),
+            )
+            s.network.run(until=2.0)
+            durations[n_workers] = app.completed_rounds[0].duration
+        # 3x the bytes through the same downlink: meaningfully longer.
+        assert durations[6] > 2.0 * durations[2]
+
+    def test_validation(self):
+        s = star()
+        with pytest.raises(ConfigurationError):
+            IncastApplication(s.network, "vm0", [], 1000,
+                              cc_factory=lambda: make_cc("cubic"))
+        with pytest.raises(ConfigurationError):
+            IncastApplication(s.network, "vm0", ["vm1"], 0,
+                              cc_factory=lambda: make_cc("cubic"))

@@ -1,0 +1,165 @@
+"""Tests for the leaf-spine fabric, ECMP, and multi-hop AQ behaviour."""
+
+import pytest
+
+from repro.cc.registry import make_cc
+from repro.core.controller import AqController, AqRequest
+from repro.core.feedback import delay_policy
+from repro.errors import ConfigurationError
+from repro.net.packet import make_udp
+from repro.topology.leafspine import LeafSpine, LeafSpineConfig
+from repro.transport.tcp import TcpConnection
+from repro.units import gbps
+
+
+def fabric(**kwargs):
+    defaults = dict(num_leaves=2, num_spines=2, hosts_per_leaf=2)
+    defaults.update(kwargs)
+    return LeafSpine(LeafSpineConfig(**defaults))
+
+
+class _Collector:
+    def __init__(self):
+        self.packets = []
+
+    def on_packet(self, packet, now):
+        self.packets.append((packet, now))
+
+
+class TestFabricWiring:
+    def test_cross_leaf_delivery(self):
+        fab = fabric()
+        sink = _Collector()
+        fab.network.hosts["h1-0"].set_default_endpoint(sink)
+        fab.network.hosts["h0-0"].send(make_udp("h0-0", "h1-0", 1, 1500))
+        fab.network.run(until=0.01)
+        assert len(sink.packets) == 1
+
+    def test_same_leaf_delivery_stays_local(self):
+        fab = fabric()
+        sink = _Collector()
+        fab.network.hosts["h0-1"].set_default_endpoint(sink)
+        fab.network.hosts["h0-0"].send(make_udp("h0-0", "h0-1", 1, 1500))
+        fab.network.run(until=0.01)
+        assert len(sink.packets) == 1
+        for spine in fab.spines:
+            assert fab.network.switches[spine].stats.received_packets == 0
+
+    def test_ecmp_spreads_flows_across_spines(self):
+        fab = fabric(num_spines=4)
+        sink = _Collector()
+        fab.network.hosts["h1-0"].set_default_endpoint(sink)
+        for flow_id in range(32):
+            fab.network.hosts["h0-0"].send(
+                make_udp("h0-0", "h1-0", flow_id, 1500)
+            )
+        fab.network.run(until=0.01)
+        used = [
+            spine
+            for spine in fab.spines
+            if fab.network.switches[spine].stats.received_packets > 0
+        ]
+        assert len(used) >= 3  # 32 flows over 4 spines: ~all used
+
+    def test_flow_sticks_to_one_spine(self):
+        fab = fabric(num_spines=4)
+        sink = _Collector()
+        fab.network.hosts["h1-0"].set_default_endpoint(sink)
+        for _ in range(10):
+            fab.network.hosts["h0-0"].send(make_udp("h0-0", "h1-0", 7, 1500))
+        fab.network.run(until=0.01)
+        expected = fab.spine_for_flow(7)
+        for spine in fab.spines:
+            received = fab.network.switches[spine].stats.received_packets
+            assert (received > 0) == (spine == expected)
+
+    def test_tcp_across_fabric(self):
+        fab = fabric()
+        conn = TcpConnection(
+            fab.network, "h0-0", "h1-1", make_cc("cubic"), size_bytes=300_000
+        )
+        fab.network.run(until=1.0)
+        assert conn.completed
+        assert conn.receiver.delivered_bytes == 300_000
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LeafSpine(LeafSpineConfig(num_leaves=0))
+
+    def test_base_rtt(self):
+        fab = fabric()
+        assert fab.base_rtt() == pytest.approx(8 * fab.config.prop_delay)
+
+
+class TestMultiHopAq:
+    def test_virtual_delay_accumulates_across_hops(self):
+        """Section 3.3.2: the virtual queuing delay is accumulated along
+        the path — an AQ on the leaf and another on the spine both add
+        their gap/R to the packet header."""
+        fab = fabric(num_spines=1)
+        network = fab.network
+        controller = AqController(network)
+        controller.register_resource("path", gbps(10))
+        rate = gbps(1)
+        leaf_grant = controller.request(
+            AqRequest(
+                entity="e", switch="leaf0", position="ingress",
+                absolute_rate_bps=rate, share_group="path",
+                policy=delay_policy(), limit_bytes=10_000_000,
+            )
+        )
+        spine_grant = controller.request(
+            AqRequest(
+                entity="e", switch="spine0", position="ingress",
+                absolute_rate_bps=rate, share_group="path",
+                policy=delay_policy(), limit_bytes=10_000_000,
+            )
+        )
+        # Tag packets with the LEAF grant id; deploy the spine AQ under the
+        # same ID so both hops match (two deployments, one header field).
+        assert leaf_grant.aq_id != spine_grant.aq_id
+        sink = _Collector()
+        network.hosts["h1-0"].set_default_endpoint(sink)
+        # Burst of packets back to back: the A-Gap builds at each hop.
+        for i in range(10):
+            packet = make_udp("h0-0", "h1-0", 3, 1500)
+            packet.aq_ingress_id = leaf_grant.aq_id
+            network.hosts["h0-0"].send(packet)
+        # Re-tagging for the spine hop is the tenant's job in Section 4.1;
+        # here both AQs were created with different IDs, so emulate an
+        # entity whose single ID is deployed at both switches:
+        controller.pipeline("spine0").withdraw(spine_grant.aq_id, "ingress")
+        spine_grant.aq.aq_id = leaf_grant.aq_id
+        controller.pipeline("spine0").deploy(spine_grant.aq, "ingress")
+        for i in range(10):
+            packet = make_udp("h0-0", "h1-0", 3, 1500)
+            packet.aq_ingress_id = leaf_grant.aq_id
+            network.hosts["h0-0"].send(packet)
+        network.run(until=0.05)
+        delays = [p.virtual_delay for p, _ in sink.packets]
+        # Later packets (after the re-deploy) carry delay from BOTH hops.
+        single_hop = delays[5]
+        double_hop = delays[-1]
+        assert double_hop > 1.5 * single_hop
+
+    def test_aq_limits_apply_at_spine(self):
+        fab = fabric(num_spines=1)
+        network = fab.network
+        controller = AqController(network)
+        controller.register_resource("spine-cap", gbps(10))
+        grant = controller.request(
+            AqRequest(
+                entity="e", switch="spine0", position="ingress",
+                absolute_rate_bps=1e6, share_group="spine-cap",
+                limit_bytes=3000,
+            )
+        )
+        sink = _Collector()
+        network.hosts["h1-0"].set_default_endpoint(sink)
+        for i in range(40):
+            packet = make_udp("h0-0", "h1-0", 5, 1500)
+            packet.aq_ingress_id = grant.aq_id
+            network.sim.schedule_at(i * 1e-5, network.hosts["h0-0"].send, packet)
+        network.run(until=0.1)
+        assert len(sink.packets) <= 3
+        assert grant.aq.stats.dropped_packets >= 37

@@ -1,0 +1,205 @@
+"""Tests for links, transmitters, hosts, switches, and topology wiring."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.net.host import Host
+from repro.net.link import Link, Transmitter
+from repro.net.packet import make_udp
+from repro.queues.fifo import PhysicalFifoQueue
+from repro.sim.engine import Simulator
+from repro.topology.base import Network, QueueConfig
+from repro.topology.dumbbell import Dumbbell, DumbbellConfig
+from repro.topology.star import Star, StarConfig
+from repro.units import gbps, us
+
+
+class _Collector:
+    def __init__(self):
+        self.packets = []
+
+    def __call__(self, packet):
+        self.packets.append(packet)
+
+    def on_packet(self, packet, now):
+        self.packets.append((packet, now))
+
+
+class TestLinkAndTransmitter:
+    def _make(self, rate=gbps(1), delay=us(10)):
+        sim = Simulator()
+        collector = _Collector()
+        link = Link(sim, rate, delay, collector)
+        queue = PhysicalFifoQueue(limit_bytes=1_000_000)
+        tx = Transmitter(sim, queue, link)
+        return sim, tx, collector
+
+    def test_delivery_time_is_serialization_plus_propagation(self):
+        sim, tx, collector = self._make(rate=gbps(1), delay=us(10))
+        tx.offer(make_udp("a", "b", 1, 1250))  # 10 us serialization at 1G
+        sim.run()
+        assert len(collector.packets) == 1
+        assert sim.now == pytest.approx(20e-6)
+
+    def test_back_to_back_packets_paced_at_line_rate(self):
+        sim, tx, collector = self._make(rate=gbps(1), delay=0.0)
+        for _ in range(3):
+            tx.offer(make_udp("a", "b", 1, 1250))
+        times = []
+        link_handler = collector
+        sim.run()
+        # Each 1250B packet takes 10us to serialize; deliveries at 10/20/30us.
+        assert len(collector.packets) == 3
+
+    def test_queue_overflow_drops(self):
+        sim = Simulator()
+        collector = _Collector()
+        link = Link(sim, gbps(1), 0.0, collector)
+        queue = PhysicalFifoQueue(limit_bytes=3000)
+        tx = Transmitter(sim, queue, link)
+        results = [tx.offer(make_udp("a", "b", 1, 1500)) for _ in range(4)]
+        # First goes straight to the wire; two buffer; the rest drop.
+        assert results[0] and results[1] and results[2]
+        assert not results[3]
+
+    def test_egress_hook_can_drop(self):
+        sim, tx, collector = self._make()
+        tx.add_egress_hook(lambda packet, now: packet.size < 1000)
+        tx.offer(make_udp("a", "b", 1, 1500))
+        tx.offer(make_udp("a", "b", 1, 500))
+        sim.run()
+        assert [p.size for p in collector.packets] == [500]
+
+    def test_link_stats_count_deliveries(self):
+        sim, tx, collector = self._make()
+        tx.offer(make_udp("a", "b", 1, 1000))
+        sim.run()
+        link = tx.link
+        assert link.stats.delivered_packets == 1
+        assert link.stats.delivered_bytes == 1000
+        assert link.stats.busy_time > 0
+
+    def test_invalid_link_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            Link(sim, 0, 0.0, lambda p: None)
+        with pytest.raises(ConfigurationError):
+            Link(sim, gbps(1), -1.0, lambda p: None)
+
+
+class TestHost:
+    def test_demux_by_flow_id(self):
+        sim = Simulator()
+        host = Host(sim, "h1")
+        a, b = _Collector(), _Collector()
+        host.register_flow(1, a)
+        host.register_flow(2, b)
+        host.receive(make_udp("x", "h1", 1, 100))
+        host.receive(make_udp("x", "h1", 2, 100))
+        assert len(a.packets) == 1
+        assert len(b.packets) == 1
+
+    def test_duplicate_flow_registration_rejected(self):
+        host = Host(Simulator(), "h1")
+        host.register_flow(1, _Collector())
+        with pytest.raises(ConfigurationError):
+            host.register_flow(1, _Collector())
+
+    def test_default_endpoint_catches_unknown_flows(self):
+        host = Host(Simulator(), "h1")
+        catcher = _Collector()
+        host.set_default_endpoint(catcher)
+        host.receive(make_udp("x", "h1", 99, 100))
+        assert len(catcher.packets) == 1
+
+    def test_misrouted_packet_raises(self):
+        host = Host(Simulator(), "h1")
+        with pytest.raises(RoutingError):
+            host.receive(make_udp("x", "other-host", 1, 100))
+
+    def test_receive_taps_see_every_packet(self):
+        host = Host(Simulator(), "h1")
+        seen = []
+        host.receive_taps.append(lambda p, now: seen.append(p.flow_id))
+        host.set_default_endpoint(_Collector())
+        host.receive(make_udp("x", "h1", 7, 100))
+        assert seen == [7]
+
+    def test_unregister_flow(self):
+        host = Host(Simulator(), "h1")
+        collector = _Collector()
+        host.register_flow(1, collector)
+        host.unregister_flow(1)
+        host.receive(make_udp("x", "h1", 1, 100))
+        assert collector.packets == []
+
+
+class TestNetworkWiring:
+    def test_duplicate_node_names_rejected(self):
+        net = Network()
+        net.add_host("n1")
+        with pytest.raises(ConfigurationError):
+            net.add_switch("n1")
+
+    def test_flow_ids_unique(self):
+        net = Network()
+        ids = {net.allocate_flow_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_routes_installed_on_dumbbell(self):
+        d = Dumbbell(DumbbellConfig(num_left=2, num_right=2))
+        left = d.network.switches[Dumbbell.LEFT_SWITCH]
+        right = d.network.switches[Dumbbell.RIGHT_SWITCH]
+        # Left switch reaches right hosts via the trunk.
+        assert left.route_for("h-r0").link.name.endswith(Dumbbell.RIGHT_SWITCH)
+        assert right.route_for("h-r0").link.name.endswith("h-r0")
+
+    def test_unknown_route_raises(self):
+        d = Dumbbell(DumbbellConfig(num_left=1, num_right=1))
+        with pytest.raises(RoutingError):
+            d.network.switches[Dumbbell.LEFT_SWITCH].route_for("nowhere")
+
+    def test_end_to_end_delivery_across_dumbbell(self):
+        d = Dumbbell(DumbbellConfig(num_left=1, num_right=1))
+        sink = _Collector()
+        d.network.hosts["h-r0"].set_default_endpoint(sink)
+        d.network.hosts["h-l0"].send(make_udp("h-l0", "h-r0", 1, 1500))
+        d.network.run(until=0.01)
+        assert len(sink.packets) == 1
+
+    def test_star_roundtrip(self):
+        star = Star(StarConfig(num_hosts=3))
+        sink = _Collector()
+        star.network.hosts["vm2"].set_default_endpoint(sink)
+        star.network.hosts["vm0"].send(make_udp("vm0", "vm2", 1, 1500))
+        star.network.run(until=0.01)
+        assert len(sink.packets) == 1
+
+    def test_bottleneck_paces_at_configured_rate(self):
+        d = Dumbbell(
+            DumbbellConfig(num_left=1, num_right=1, bottleneck_rate_bps=gbps(1))
+        )
+        sink = _Collector()
+        d.network.hosts["h-r0"].set_default_endpoint(sink)
+        for _ in range(10):
+            d.network.hosts["h-l0"].send(make_udp("h-l0", "h-r0", 1, 1250))
+        d.network.run(until=0.01)
+        times = [now for _, now in sink.packets]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # 1250 B at 1 Gbps = 10 us per packet on the trunk.
+        assert all(gap == pytest.approx(10e-6) for gap in gaps)
+
+    def test_ingress_hook_drop_counted(self):
+        d = Dumbbell(DumbbellConfig(num_left=1, num_right=1))
+        switch = d.network.switches[Dumbbell.LEFT_SWITCH]
+        switch.add_ingress_hook(lambda packet, now: False)
+        d.network.hosts["h-l0"].send(make_udp("h-l0", "h-r0", 1, 1500))
+        d.network.run(until=0.01)
+        assert switch.stats.ingress_dropped_packets == 1
+        assert switch.stats.forwarded_packets == 0
+
+    def test_base_rtt_matches_topology(self):
+        d = Dumbbell(DumbbellConfig(prop_delay=us(10)))
+        assert d.base_rtt() == pytest.approx(60e-6)
+        star = Star(StarConfig(prop_delay=us(10)))
+        assert star.base_rtt() == pytest.approx(40e-6)

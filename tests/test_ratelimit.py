@@ -1,0 +1,203 @@
+"""Tests for the PRL token bucket and the two DRL allocators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.packet import make_ack, make_udp
+from repro.ratelimit.dynamic import DynamicVmAllocator
+from repro.ratelimit.elasticswitch import ElasticSwitch, VmProfile
+from repro.ratelimit.token_bucket import TokenBucketShaper
+from repro.sim.engine import Simulator
+from repro.topology.star import Star, StarConfig
+from repro.units import gbps, mbps
+
+
+def pkt(size=1500):
+    return make_udp("a", "b", 1, size)
+
+
+class TestTokenBucket:
+    def _shaper(self, rate=mbps(12), **kwargs):
+        sim = Simulator()
+        released = []
+        shaper = TokenBucketShaper(sim, rate, released.append, **kwargs)
+        return sim, shaper, released
+
+    def test_burst_within_bucket_passes_immediately(self):
+        sim, shaper, released = self._shaper()
+        for _ in range(5):
+            shaper.submit(pkt())
+        assert len(released) == 5  # bucket holds 10 MTU
+        assert sim.now == 0.0
+
+    def test_sustained_rate_matches_configuration(self):
+        # 12 Mbps = 1500 B per ms. Offer 100 packets at once.
+        sim, shaper, released = self._shaper(rate=mbps(12))
+        for _ in range(100):
+            shaper.submit(pkt())
+        sim.run(until=0.05)  # 50 ms -> 10 burst + ~50 paced
+        assert 55 <= len(released) <= 65
+
+    def test_backlog_drops_beyond_limit(self):
+        sim, shaper, released = self._shaper(
+            rate=mbps(1), backlog_limit_bytes=5 * 1500
+        )
+        for _ in range(30):
+            shaper.submit(pkt())
+        assert shaper.dropped_packets > 0
+        assert shaper.backlog_bytes <= 5 * 1500
+
+    def test_acks_bypass_shaping(self):
+        sim, shaper, released = self._shaper(rate=mbps(1))
+        for _ in range(50):
+            shaper.submit(pkt())  # saturate
+        ack = make_ack("a", "b", 1, ack=100, size=64)
+        shaper.submit(ack)
+        assert released[-1] is ack  # went straight through
+
+    def test_set_rate_retargets(self):
+        sim, shaper, released = self._shaper(rate=mbps(1))
+        for _ in range(50):
+            shaper.submit(pkt())
+        before = len(released)
+        shaper.set_rate(mbps(120))  # 10 MTU per ms
+        sim.run(until=0.01)
+        assert len(released) > before + 5
+
+    def test_no_time_freeze_with_fractional_tokens(self):
+        # Regression: sub-byte deficits froze the clock (see module docs).
+        sim = Simulator()
+        released = []
+        shaper = TokenBucketShaper(sim, 333333.0, released.append)
+        for _ in range(40):
+            shaper.submit(pkt(997))
+        processed = sim.run(until=2.0, max_events=100_000)
+        assert sim.now >= 1.0 or processed < 100_000
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            TokenBucketShaper(sim, 0.0, lambda p: None)
+        with pytest.raises(ConfigurationError):
+            TokenBucketShaper(sim, mbps(1), lambda p: None, bucket_bytes=10)
+
+
+class TestDynamicVmAllocator:
+    def _star_with_allocator(self, share=gbps(1), interval=1e-3):
+        star = Star(StarConfig(num_hosts=3, link_rate_bps=gbps(10)))
+        allocator = DynamicVmAllocator(
+            star.network, share, ["vm0", "vm1"], interval=interval
+        )
+        return star, allocator
+
+    def test_initial_split_is_even(self):
+        _, allocator = self._star_with_allocator(share=gbps(1))
+        rates = [s.rate_bps for s in allocator.shapers.values()]
+        assert rates == [pytest.approx(gbps(0.5))] * 2
+
+    def test_demand_shifts_allocation(self):
+        star, allocator = self._star_with_allocator(share=gbps(1), interval=1e-3)
+        net = star.network
+        # Only vm0 sends; vm1 idles.
+        for i in range(3000):
+            net.sim.schedule_at(
+                i * 2e-6, net.hosts["vm0"].send, make_udp("vm0", "vm2", 9, 1500)
+            )
+        net.run(until=5e-3)
+        assert allocator.shapers["vm0"].rate_bps > 0.8 * gbps(1)
+        assert allocator.shapers["vm1"].rate_bps < 0.2 * gbps(1)
+
+    def test_idle_floor_preserved(self):
+        star, allocator = self._star_with_allocator(share=gbps(1), interval=1e-3)
+        net = star.network
+        for i in range(3000):
+            net.sim.schedule_at(
+                i * 2e-6, net.hosts["vm0"].send, make_udp("vm0", "vm2", 9, 1500)
+            )
+        net.run(until=5e-3)
+        even = gbps(1) / 2
+        assert allocator.shapers["vm1"].rate_bps >= 0.25 * even - 1
+
+    def test_all_idle_resets_to_even(self):
+        star, allocator = self._star_with_allocator(share=gbps(1), interval=1e-3)
+        net = star.network
+        net.hosts["vm0"].send(make_udp("vm0", "vm2", 9, 1500))
+        net.run(until=10e-3)  # demand long gone
+        rates = [s.rate_bps for s in allocator.shapers.values()]
+        assert rates == [pytest.approx(gbps(0.5))] * 2
+
+    def test_validation(self):
+        star = Star(StarConfig(num_hosts=2))
+        with pytest.raises(ConfigurationError):
+            DynamicVmAllocator(star.network, 0.0, ["vm0"])
+        with pytest.raises(ConfigurationError):
+            DynamicVmAllocator(star.network, gbps(1), [])
+
+
+class TestElasticSwitch:
+    def _setup(self, num_hosts=3, profile=gbps(1)):
+        star = Star(StarConfig(num_hosts=num_hosts, link_rate_bps=gbps(10)))
+        es = ElasticSwitch(star.network, interval=1e-3)
+        for name in star.hosts:
+            es.add_vm(VmProfile(name, profile, profile))
+        es.start()
+        return star, es
+
+    def test_pair_guarantee_is_min_of_splits(self):
+        star, es = self._setup(num_hosts=3, profile=gbps(1))
+        net = star.network
+        # vm0 and vm1 both send to vm2: each inbound split is ~0.5G,
+        # below their 1G outbound splits.
+        for i in range(6000):
+            t = i * 2e-6
+            net.sim.schedule_at(t, net.hosts["vm0"].send, make_udp("vm0", "vm2", 1, 1500))
+            net.sim.schedule_at(t, net.hosts["vm1"].send, make_udp("vm1", "vm2", 2, 1500))
+        net.run(until=8e-3)
+        r01 = es._pair_rates[("vm0", "vm2")]
+        r12 = es._pair_rates[("vm1", "vm2")]
+        assert r01 == pytest.approx(gbps(0.5), rel=0.3)
+        assert r12 == pytest.approx(gbps(0.5), rel=0.3)
+
+    def test_single_sender_gets_full_outbound(self):
+        star, es = self._setup(num_hosts=3, profile=gbps(1))
+        net = star.network
+        for i in range(6000):
+            net.sim.schedule_at(
+                i * 2e-6, net.hosts["vm0"].send, make_udp("vm0", "vm2", 1, 1500)
+            )
+        net.run(until=8e-3)
+        assert es._pair_rates[("vm0", "vm2")] == pytest.approx(gbps(1), rel=0.1)
+
+    def test_acks_not_shaped(self):
+        star, es = self._setup()
+        delivered = []
+        star.network.hosts["vm1"].set_default_endpoint(
+            type("S", (), {"on_packet": lambda self, p, now: delivered.append(p)})()
+        )
+        ack = make_ack("vm0", "vm1", 1, ack=10, size=64)
+        star.network.hosts["vm0"].send(ack)
+        star.network.run(until=1e-3)
+        assert delivered
+
+    def test_duplicate_vm_rejected(self):
+        star, es = self._setup()
+        with pytest.raises(ConfigurationError):
+            es.add_vm(VmProfile("vm0", gbps(1), gbps(1)))
+
+    def test_unknown_host_rejected(self):
+        star = Star(StarConfig(num_hosts=2))
+        es = ElasticSwitch(star.network)
+        with pytest.raises(ConfigurationError):
+            es.add_vm(VmProfile("ghost", gbps(1), gbps(1)))
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VmProfile("vm0", 0.0, gbps(1))
+
+    def test_owner_pooling_budgets(self):
+        star = Star(StarConfig(num_hosts=3, link_rate_bps=gbps(10)))
+        es = ElasticSwitch(star.network)
+        es.add_vm(VmProfile("vm0", gbps(1), gbps(1)), owner="entity")
+        es.add_vm(VmProfile("vm1", gbps(2), gbps(2)), owner="entity")
+        assert es._owner_budget("entity", outbound=True) == pytest.approx(gbps(3))
+        assert es._owner_budget("entity", outbound=False) == pytest.approx(gbps(3))

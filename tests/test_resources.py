@@ -1,0 +1,58 @@
+"""Tests for the Tofino resource model (Figures 11-12)."""
+
+import pytest
+
+from repro.core.resources import (
+    AQ_RECORD_BYTES,
+    ResourceUsage,
+    max_aqs_in_sram,
+    memory_for_aqs,
+    memory_series,
+    tofino_usage,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRecordLayout:
+    def test_record_is_fifteen_bytes(self):
+        # Section 5.5: "Each AQ requires 15 bytes in total".
+        assert AQ_RECORD_BYTES == 15
+
+    def test_memory_linear_in_aq_count(self):
+        assert memory_for_aqs(0) == 0
+        assert memory_for_aqs(1) == 15
+        assert memory_for_aqs(1_000_000) == 15_000_000
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            memory_for_aqs(-1)
+
+
+class TestScalabilityClaims:
+    def test_millions_fit_in_default_sram(self):
+        assert max_aqs_in_sram() > 1_000_000
+
+    def test_custom_sram_budget(self):
+        assert max_aqs_in_sram(15_000) == 1000
+
+    def test_invalid_sram_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_aqs_in_sram(0)
+
+    def test_memory_series_in_megabytes(self):
+        series = memory_series([1_000_000])
+        assert series[1_000_000] == pytest.approx(15_000_000 / (1024 * 1024))
+
+
+class TestUsageModel:
+    def test_paper_reported_percentages(self):
+        by_name = {u.resource: u.used_percent for u in tofino_usage()}
+        assert by_name["pipeline stages"] == 16.8
+        assert by_name["MAUs"] == 12.5
+        assert by_name["PHV size"] == 7.5
+
+    def test_every_entry_documented(self):
+        for usage in tofino_usage():
+            assert isinstance(usage, ResourceUsage)
+            assert usage.explanation
+            assert 0 < usage.used_percent < 100

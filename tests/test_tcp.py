@@ -1,0 +1,139 @@
+"""Transport-level TCP tests on small real topologies."""
+
+import pytest
+
+from repro.cc.newreno import NewReno
+from repro.cc.registry import make_cc
+from repro.errors import TransportError
+from repro.topology.base import QueueConfig
+from repro.topology.dumbbell import Dumbbell, DumbbellConfig
+from repro.transport.tcp import TcpConnection, TcpSender
+from repro.units import gbps
+
+
+def small_dumbbell(rate=gbps(1), queue_config=None):
+    return Dumbbell(
+        DumbbellConfig(
+            num_left=2,
+            num_right=2,
+            bottleneck_rate_bps=rate,
+            queue_config=queue_config or QueueConfig(),
+        )
+    )
+
+
+class TestReliableDelivery:
+    def test_fixed_size_flow_completes_exactly(self):
+        d = small_dumbbell()
+        done = []
+        conn = TcpConnection(
+            d.network, "h-l0", "h-r0", NewReno(), size_bytes=500_000,
+            on_complete=lambda c, t: done.append(t),
+        )
+        d.network.run(until=1.0)
+        assert done, "flow did not complete"
+        assert conn.receiver.delivered_bytes == 500_000
+        assert conn.receiver.fin_received
+
+    def test_completion_time_reasonable(self):
+        # 500 KB at 1 Gbps is 4 ms of serialization; allow generous slack
+        # for slow start but catch order-of-magnitude regressions.
+        d = small_dumbbell()
+        conn = TcpConnection(d.network, "h-l0", "h-r0", NewReno(), size_bytes=500_000)
+        d.network.run(until=1.0)
+        assert conn.completed
+        assert conn.completion_time < 30e-3
+
+    def test_delivery_survives_heavy_loss(self):
+        # A tiny bottleneck queue forces drops; TCP must still deliver all.
+        d = small_dumbbell(queue_config=QueueConfig(limit_bytes=8 * 1500))
+        conn1 = TcpConnection(d.network, "h-l0", "h-r0", NewReno(), size_bytes=300_000)
+        conn2 = TcpConnection(d.network, "h-l1", "h-r1", NewReno(), size_bytes=300_000)
+        d.network.run(until=2.0)
+        assert conn1.completed and conn2.completed
+        assert conn1.receiver.delivered_bytes == 300_000
+        assert conn2.receiver.delivered_bytes == 300_000
+        total_rexmit = (
+            conn1.sender.stats.retransmissions + conn2.sender.stats.retransmissions
+        )
+        assert total_rexmit > 0, "expected losses with an 8-packet buffer"
+
+    def test_long_lived_flow_fills_link(self):
+        d = small_dumbbell()
+        conn = TcpConnection(d.network, "h-l0", "h-r0", make_cc("cubic"))
+        d.network.run(until=0.1)
+        rate = conn.receiver.delivered_bytes * 8 / 0.1
+        assert rate > 0.7 * gbps(1)
+
+    def test_two_flows_share_capacity(self):
+        d = small_dumbbell()
+        c1 = TcpConnection(d.network, "h-l0", "h-r0", make_cc("cubic"))
+        c2 = TcpConnection(d.network, "h-l1", "h-r1", make_cc("cubic"))
+        d.network.run(until=0.15)
+        r1 = c1.receiver.delivered_bytes * 8 / 0.15
+        r2 = c2.receiver.delivered_bytes * 8 / 0.15
+        assert r1 + r2 > 0.8 * gbps(1)
+        assert min(r1, r2) / max(r1, r2) > 0.3
+
+    def test_start_time_honored(self):
+        d = small_dumbbell()
+        conn = TcpConnection(
+            d.network, "h-l0", "h-r0", NewReno(), size_bytes=100_000,
+            start_time=5e-3,
+        )
+        d.network.run(until=4e-3)
+        assert conn.sender.stats.segments_sent == 0
+        d.network.run(until=0.5)
+        assert conn.completed
+        assert conn.sender.stats.start_time == pytest.approx(5e-3)
+
+    def test_stop_halts_sender(self):
+        d = small_dumbbell()
+        conn = TcpConnection(d.network, "h-l0", "h-r0", make_cc("cubic"))
+        d.network.sim.schedule_at(10e-3, conn.sender.stop)
+        d.network.run(until=50e-3)
+        sent_at_stop = conn.sender.stats.bytes_sent
+        d.network.run(until=60e-3)
+        assert conn.sender.stats.bytes_sent == sent_at_stop
+
+
+class TestRttEstimation:
+    def test_base_rtt_close_to_propagation(self):
+        d = small_dumbbell()
+        conn = TcpConnection(d.network, "h-l0", "h-r0", NewReno(), size_bytes=100_000)
+        d.network.run(until=0.5)
+        # Base RTT should be within a few serialization times of 60 us.
+        assert conn.sender.base_rtt < 120e-6
+        assert conn.sender.base_rtt >= 60e-6
+
+    def test_srtt_positive_after_transfer(self):
+        d = small_dumbbell()
+        conn = TcpConnection(d.network, "h-l0", "h-r0", NewReno(), size_bytes=50_000)
+        d.network.run(until=0.5)
+        assert conn.sender.srtt > 0
+
+
+class TestValidation:
+    def test_zero_size_rejected(self):
+        d = small_dumbbell()
+        with pytest.raises(TransportError):
+            TcpSender(
+                d.network.sim, d.network.hosts["h-l0"], "h-r0", 999,
+                NewReno(), size_bytes=0,
+            )
+
+
+class TestAqHeaderStamping:
+    def test_data_packets_carry_aq_ids(self):
+        d = small_dumbbell()
+        seen = []
+        d.network.switches[Dumbbell.LEFT_SWITCH].add_ingress_hook(
+            lambda p, now: seen.append((p.aq_ingress_id, p.aq_egress_id)) or True
+        )
+        TcpConnection(
+            d.network, "h-l0", "h-r0", NewReno(), size_bytes=30_000,
+            aq_ingress_id=7, aq_egress_id=9,
+        )
+        d.network.run(until=0.1)
+        data_headers = [h for h in seen if h != (0, 0)]
+        assert data_headers and all(h == (7, 9) for h in data_headers)

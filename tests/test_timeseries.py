@@ -1,0 +1,110 @@
+"""Tests for the time-series analysis helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stats.timeseries import (
+    coefficient_of_variation,
+    downsample,
+    integrate,
+    moving_average,
+    settling_time,
+)
+
+
+def series_of(values, dt=0.01):
+    return [(i * dt, v) for i, v in enumerate(values)]
+
+
+class TestMovingAverage:
+    def test_smooths_spikes(self):
+        raw = series_of([1, 1, 10, 1, 1])
+        smooth = moving_average(raw, window=3)
+        assert max(v for _, v in smooth) < 10
+
+    def test_window_one_is_identity(self):
+        raw = series_of([3, 1, 4, 1, 5])
+        assert moving_average(raw, 1) == raw
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            moving_average(series_of([1]), 0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_data(self, values, window):
+        smooth = moving_average(series_of(values), window)
+        assert all(min(values) - 1e-9 <= v <= max(values) + 1e-9 for _, v in smooth)
+
+
+class TestSettlingTime:
+    def test_detects_settling(self):
+        raw = series_of([0.1, 0.4, 0.9, 1.02, 0.98, 1.01, 1.0])
+        settled = settling_time(raw, target=1.0, tolerance=0.05)
+        assert settled == pytest.approx(0.03)
+
+    def test_requires_hold(self):
+        # Touches the band once, leaves, then settles.
+        raw = series_of([1.0, 0.2, 0.2, 1.0, 1.0, 1.0])
+        settled = settling_time(raw, target=1.0, tolerance=0.05, hold_samples=3)
+        assert settled == pytest.approx(0.03)
+
+    def test_never_settles(self):
+        raw = series_of([0.1, 0.2, 0.1])
+        assert settling_time(raw, target=1.0) is None
+
+    def test_start_offset(self):
+        raw = series_of([1.0] * 10)
+        settled = settling_time(raw, target=1.0, start=0.05)
+        assert settled == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            settling_time([], target=0.0)
+
+
+class TestCv:
+    def test_constant_series_zero(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+
+    def test_variable_series_positive(self):
+        assert coefficient_of_variation([1, 9]) > 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coefficient_of_variation([])
+
+
+class TestIntegrate:
+    def test_rectangle(self):
+        assert integrate([(0.0, 2.0), (1.0, 2.0)]) == pytest.approx(2.0)
+
+    def test_triangle(self):
+        assert integrate([(0.0, 0.0), (1.0, 2.0)]) == pytest.approx(1.0)
+
+    def test_time_must_advance(self):
+        with pytest.raises(ConfigurationError):
+            integrate([(1.0, 1.0), (0.5, 1.0)])
+
+
+class TestDownsample:
+    def test_reduces_length(self):
+        raw = series_of(range(10))
+        down = downsample(raw, 2)
+        assert len(down) == 5
+
+    def test_averages_buckets(self):
+        down = downsample(series_of([1, 3]), 2)
+        assert down[0][1] == pytest.approx(2.0)
+
+    def test_remainder_kept(self):
+        down = downsample(series_of([1, 3, 7]), 2)
+        assert len(down) == 2
+        assert down[1][1] == pytest.approx(7.0)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            downsample([], 0)

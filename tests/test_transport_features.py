@@ -1,0 +1,158 @@
+"""Tests for delayed ACKs, path deployment, and transport robustness
+properties (random-loss reliability)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc.registry import make_cc
+from repro.core.controller import AqController, AqRequest
+from repro.core.feedback import delay_policy
+from repro.errors import ConfigurationError, TransportError
+from repro.net.packet import make_udp
+from repro.topology.dumbbell import Dumbbell, DumbbellConfig
+from repro.topology.leafspine import LeafSpine, LeafSpineConfig
+from repro.transport.tcp import TcpConnection, TcpReceiver
+from repro.units import gbps
+
+
+def dumbbell(rate=gbps(1)):
+    return Dumbbell(DumbbellConfig(num_left=2, num_right=2,
+                                   bottleneck_rate_bps=rate))
+
+
+class TestDelayedAcks:
+    def test_flow_completes_with_delayed_acks(self):
+        d = dumbbell()
+        conn = TcpConnection(
+            d.network, "h-l0", "h-r0", make_cc("cubic"),
+            size_bytes=400_000, ack_every=2,
+        )
+        d.network.run(until=1.0)
+        assert conn.completed
+        assert conn.receiver.delivered_bytes == 400_000
+
+    def test_delayed_acks_send_fewer_acks(self):
+        d1 = dumbbell()
+        c1 = TcpConnection(d1.network, "h-l0", "h-r0", make_cc("cubic"),
+                           size_bytes=300_000, ack_every=1)
+        d1.network.run(until=1.0)
+        d2 = dumbbell()
+        c2 = TcpConnection(d2.network, "h-l0", "h-r0", make_cc("cubic"),
+                           size_bytes=300_000, ack_every=4)
+        d2.network.run(until=1.0)
+        assert c1.completed and c2.completed
+        assert c2.receiver.acks_sent < 0.6 * c1.receiver.acks_sent
+
+    def test_out_of_order_still_generates_dup_acks(self):
+        # Heavy loss forces retransmissions; with delayed ACKs the flow
+        # must still complete (dup-ACKs fire immediately on reordering).
+        from repro.topology.base import QueueConfig
+
+        d = Dumbbell(DumbbellConfig(
+            num_left=2, num_right=2, bottleneck_rate_bps=gbps(1),
+            queue_config=QueueConfig(limit_bytes=10 * 1500),
+        ))
+        c1 = TcpConnection(d.network, "h-l0", "h-r0", make_cc("cubic"),
+                           size_bytes=300_000, ack_every=2)
+        c2 = TcpConnection(d.network, "h-l1", "h-r1", make_cc("cubic"),
+                           size_bytes=300_000, ack_every=2)
+        d.network.run(until=2.0)
+        assert c1.completed and c2.completed
+
+    def test_invalid_ack_every(self):
+        d = dumbbell()
+        with pytest.raises(TransportError):
+            TcpReceiver(d.network.sim, d.network.hosts["h-r0"], "h-l0",
+                        999, ack_every=0)
+
+
+class TestRandomLossReliability:
+    """Property: TCP delivers everything under arbitrary (bounded) random
+    ingress loss — the transport's core invariant."""
+
+    @given(
+        drop_rate=st.floats(min_value=0.0, max_value=0.25),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_delivery_under_random_drops(self, drop_rate, seed):
+        import random
+
+        d = dumbbell()
+        rng = random.Random(seed)
+        d.network.switches[Dumbbell.LEFT_SWITCH].add_ingress_hook(
+            lambda p, now: not (p.is_data and rng.random() < drop_rate)
+        )
+        conn = TcpConnection(d.network, "h-l0", "h-r0", make_cc("newreno"),
+                             size_bytes=60_000)
+        d.network.run(until=5.0)
+        assert conn.completed
+        assert conn.receiver.delivered_bytes == 60_000
+
+
+class TestRequestPath:
+    def test_single_id_deployed_at_every_hop(self):
+        fab = LeafSpine(LeafSpineConfig(num_leaves=2, num_spines=1,
+                                        hosts_per_leaf=1))
+        controller = AqController(fab.network)
+        controller.register_resource("path", gbps(10))
+        grants = controller.request_path(
+            AqRequest(entity="e", switch="leaf0", position="ingress",
+                      absolute_rate_bps=gbps(1), share_group="path",
+                      policy=delay_policy(), limit_bytes=10_000_000),
+            switches=["leaf0", "spine0"],
+        )
+        assert len(grants) == 2
+        assert grants[0].aq_id == grants[1].aq_id
+        assert grants[0].aq is not grants[1].aq  # independent per-hop state
+
+        received = []
+        fab.network.hosts["h1-0"].set_default_endpoint(
+            type("S", (), {"on_packet": lambda s, p, now: received.append(p)})()
+        )
+        for _ in range(8):
+            packet = make_udp("h0-0", "h1-0", 3, 1500)
+            packet.aq_ingress_id = grants[0].aq_id
+            fab.network.hosts["h0-0"].send(packet)
+        fab.network.run(until=0.05)
+        # Both hops contributed virtual delay.
+        assert received[-1].virtual_delay > received[0].virtual_delay
+        assert grants[0].aq.stats.arrived_packets == 8
+        assert grants[1].aq.stats.arrived_packets == 8
+
+    def test_withdraw_path_clears_all_hops(self):
+        fab = LeafSpine(LeafSpineConfig(num_leaves=2, num_spines=1,
+                                        hosts_per_leaf=1))
+        controller = AqController(fab.network)
+        controller.register_resource("path", gbps(10))
+        grants = controller.request_path(
+            AqRequest(entity="e", switch="leaf0", position="ingress",
+                      absolute_rate_bps=1e6, share_group="path",
+                      limit_bytes=3000),
+            switches=["leaf0", "spine0"],
+        )
+        controller.withdraw_path(grants)
+        received = []
+        fab.network.hosts["h1-0"].set_default_endpoint(
+            type("S", (), {"on_packet": lambda s, p, now: received.append(p)})()
+        )
+        for i in range(20):
+            packet = make_udp("h0-0", "h1-0", 3, 1500)
+            packet.aq_ingress_id = grants[0].aq_id
+            fab.network.sim.schedule_at(
+                i * 1e-5, fab.network.hosts["h0-0"].send, packet
+            )
+        fab.network.run(until=0.05)
+        assert len(received) == 20  # nothing enforced anymore
+
+    def test_empty_switch_list_rejected(self):
+        fab = LeafSpine(LeafSpineConfig())
+        controller = AqController(fab.network)
+        controller.register_resource("path", gbps(10))
+        with pytest.raises(ConfigurationError):
+            controller.request_path(
+                AqRequest(entity="e", switch="leaf0", position="ingress",
+                          absolute_rate_bps=1e6, share_group="path"),
+                switches=[],
+            )

@@ -1,0 +1,81 @@
+"""Tests for the UDP transport."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.topology.dumbbell import Dumbbell, DumbbellConfig
+from repro.transport.udp import UdpFlow, UdpSender
+from repro.units import gbps, mbps
+
+
+def dumbbell():
+    return Dumbbell(DumbbellConfig(num_left=1, num_right=1, bottleneck_rate_bps=gbps(1)))
+
+
+class TestUdpSender:
+    def test_sends_at_configured_rate(self):
+        d = dumbbell()
+        flow = UdpFlow(d.network, "h-l0", "h-r0", rate_bps=mbps(120))
+        d.network.run(until=0.1)
+        rate = flow.sink.delivered_bytes * 8 / 0.1
+        assert rate == pytest.approx(mbps(120), rel=0.05)
+
+    def test_stop_time_honored(self):
+        d = dumbbell()
+        flow = UdpFlow(
+            d.network, "h-l0", "h-r0", rate_bps=mbps(120), stop_time=0.05
+        )
+        d.network.run(until=0.1)
+        sent_in_window = flow.sender.bytes_sent
+        rate = sent_in_window * 8 / 0.05
+        assert rate == pytest.approx(mbps(120), rel=0.05)
+
+    def test_total_bytes_cap(self):
+        d = dumbbell()
+        flow = UdpFlow(
+            d.network, "h-l0", "h-r0", rate_bps=mbps(120), total_bytes=15_000
+        )
+        d.network.run(until=0.5)
+        assert flow.sender.bytes_sent == 15_000
+
+    def test_stop_method(self):
+        d = dumbbell()
+        flow = UdpFlow(d.network, "h-l0", "h-r0", rate_bps=mbps(120))
+        d.network.sim.schedule_at(0.02, flow.sender.stop)
+        d.network.run(until=0.1)
+        assert flow.sender.bytes_sent * 8 / 0.02 == pytest.approx(
+            mbps(120), rel=0.1
+        )
+
+    def test_overdriven_link_drops_excess(self):
+        d = dumbbell()
+        flow = UdpFlow(d.network, "h-l0", "h-r0", rate_bps=gbps(3.9))
+        d.network.run(until=0.05)
+        delivered_rate = flow.sink.delivered_bytes * 8 / 0.05
+        # Bottleneck is 1G: delivery is capped near line rate.
+        assert delivered_rate < 1.05 * gbps(1)
+
+    def test_aq_ids_stamped(self):
+        d = dumbbell()
+        seen = []
+        d.network.switches[Dumbbell.LEFT_SWITCH].add_ingress_hook(
+            lambda p, now: seen.append(p.aq_ingress_id) or True
+        )
+        UdpFlow(d.network, "h-l0", "h-r0", rate_bps=mbps(120), aq_ingress_id=5)
+        d.network.run(until=0.01)
+        assert seen and all(i == 5 for i in seen)
+
+    def test_invalid_rate_rejected(self):
+        d = dumbbell()
+        with pytest.raises(TransportError):
+            UdpSender(d.network.sim, d.network.hosts["h-l0"], "h-r0", 1, 0.0)
+
+    def test_on_deliver_callback(self):
+        d = dumbbell()
+        chunks = []
+        UdpFlow(
+            d.network, "h-l0", "h-r0", rate_bps=mbps(120),
+            on_deliver=lambda n, t: chunks.append(n),
+        )
+        d.network.run(until=0.01)
+        assert chunks and all(c == 1500 for c in chunks)

@@ -1,0 +1,85 @@
+"""Tests for unit helpers and report rendering."""
+
+import pytest
+
+from repro.harness.report import banner, rate_range_str, render_table
+from repro.units import (
+    format_rate,
+    format_size,
+    format_time,
+    gbps,
+    kbps,
+    kilobytes,
+    mbps,
+    megabytes,
+    ms,
+    rate_to_bytes_per_second,
+    transmission_time,
+    us,
+)
+
+
+class TestConversions:
+    def test_rate_helpers(self):
+        assert gbps(10) == 10e9
+        assert mbps(5) == 5e6
+        assert kbps(2) == 2e3
+
+    def test_size_helpers(self):
+        assert kilobytes(1.5) == 1500
+        assert megabytes(2) == 2_000_000
+
+    def test_time_helpers(self):
+        assert ms(15) == pytest.approx(0.015)
+        assert us(10) == pytest.approx(1e-5)
+
+    def test_transmission_time(self):
+        # 1250 bytes at 1 Gbps = 10 us.
+        assert transmission_time(1250, gbps(1)) == pytest.approx(1e-5)
+
+    def test_transmission_time_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            transmission_time(1500, 0)
+
+    def test_rate_to_bytes(self):
+        assert rate_to_bytes_per_second(8e9) == 1e9
+
+
+class TestFormatting:
+    def test_format_rate_scales(self):
+        assert format_rate(9.3e9) == "9.30Gbps"
+        assert format_rate(5.5e6) == "5.50Mbps"
+        assert format_rate(2.2e3) == "2.20Kbps"
+        assert format_rate(42) == "42bps"
+
+    def test_format_size_scales(self):
+        assert format_size(2_000_000) == "2.00MB"
+        assert format_size(1_500) == "1.50KB"
+        assert format_size(3_000_000_000) == "3.00GB"
+        assert format_size(12) == "12B"
+
+    def test_format_time_scales(self):
+        assert format_time(1.5) == "1.500s"
+        assert format_time(2.1e-3) == "2.10ms"
+        assert format_time(37e-6) == "37.00us"
+        assert format_time(5e-9) == "5.0ns"
+
+
+class TestReport:
+    def test_render_table_aligns_columns(self):
+        table = render_table(["a", "long-header"], [["xx", "1"], ["y", "22"]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert len(set(len(line) for line in lines)) == 1  # equal widths
+
+    def test_render_table_coerces_cells(self):
+        table = render_table(["n"], [[42]])
+        assert "42" in table
+
+    def test_rate_range_str(self):
+        assert rate_range_str((4.9e9, 5.2e9)) == "4.90Gbps ~ 5.20Gbps"
+
+    def test_banner(self):
+        block = banner("Title")
+        assert "Title" in block
+        assert "=" in block

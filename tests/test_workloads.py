@@ -1,0 +1,136 @@
+"""Tests for the web-search distribution and workload generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.units import MSS_BYTES
+from repro.workloads.generator import EntityWorkload, FlowSpec
+from repro.workloads.websearch import (
+    FlowSizeDistribution,
+    WEBSEARCH_CDF_PACKETS,
+    websearch_distribution,
+)
+
+
+class TestFlowSizeDistribution:
+    def test_samples_within_cdf_bounds(self):
+        dist = websearch_distribution()
+        rng = random.Random(1)
+        max_packets = WEBSEARCH_CDF_PACKETS[-1][0]
+        for _ in range(2000):
+            packets = dist.sample_packets(rng)
+            assert 1 <= packets <= max_packets
+
+    def test_heavy_tail_present(self):
+        dist = websearch_distribution()
+        rng = random.Random(2)
+        sizes = [dist.sample_packets(rng) for _ in range(5000)]
+        small = sum(1 for s in sizes if s <= 10)
+        big = sum(1 for s in sizes if s >= 200)
+        assert small > 0.35 * len(sizes)  # mostly small flows
+        assert big > 0  # but a real tail exists
+
+    def test_mean_is_stable_and_plausible(self):
+        dist = websearch_distribution()
+        mean = dist.mean_bytes(samples=5000)
+        # Dozens of packets on average for the moderated distribution.
+        assert 20 * MSS_BYTES < mean < 120 * MSS_BYTES
+
+    def test_deterministic_given_seeded_rng(self):
+        dist = websearch_distribution()
+        a = [dist.sample_bytes(random.Random(42)) for _ in range(10)]
+        b = [dist.sample_bytes(random.Random(42)) for _ in range(10)]
+        assert a == b
+
+    def test_invalid_cdf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowSizeDistribution([(1, 0.0)])
+        with pytest.raises(ConfigurationError):
+            FlowSizeDistribution([(1, 0.5), (2, 1.0)])  # must start at 0
+        with pytest.raises(ConfigurationError):
+            FlowSizeDistribution([(5, 0.0), (2, 1.0)])  # sizes must rise
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_any_seed_produces_valid_sample(self, seed):
+        dist = websearch_distribution()
+        size = dist.sample_bytes(random.Random(seed))
+        assert size >= MSS_BYTES
+
+
+class TestEntityWorkload:
+    def _workload(self, sources=("s0", "s1"), destinations=("d0", "d1")):
+        return EntityWorkload("e", sources, destinations)
+
+    def test_vm_job_queues_sum_to_volume(self):
+        workload = self._workload()
+        queues = workload.vm_job_queues(random.Random(1), 1_000_000, 0.01)
+        total = sum(f.size_bytes for flows in queues.values() for f in flows)
+        assert total == 1_000_000
+
+    def test_vm_job_queues_sorted_by_arrival(self):
+        workload = self._workload()
+        queues = workload.vm_job_queues(random.Random(1), 2_000_000, 0.05)
+        for flows in queues.values():
+            arrivals = [f.start_time for f in flows]
+            assert arrivals == sorted(arrivals)
+
+    def test_arrivals_within_window(self):
+        workload = self._workload()
+        queues = workload.vm_job_queues(
+            random.Random(3), 1_000_000, 0.02, start_time=1.0
+        )
+        for flows in queues.values():
+            for flow in flows:
+                assert 1.0 <= flow.start_time <= 1.02
+
+    def test_zero_window_is_closed_loop(self):
+        workload = self._workload()
+        queues = workload.vm_job_queues(random.Random(1), 500_000, 0.0)
+        for flows in queues.values():
+            assert all(f.start_time == 0.0 for f in flows)
+
+    def test_sources_only_from_own_set(self):
+        workload = self._workload(sources=("s0",), destinations=("d0", "d1"))
+        queues = workload.vm_job_queues(random.Random(1), 500_000, 0.01)
+        assert set(queues) == {"s0"}
+        for flow in queues["s0"]:
+            assert flow.dst in ("d0", "d1")
+
+    def test_src_never_equals_dst(self):
+        workload = EntityWorkload("e", ["h0", "h1"], ["h0", "h1"])
+        queues = workload.vm_job_queues(random.Random(5), 1_000_000, 0.01)
+        for flows in queues.values():
+            for flow in flows:
+                assert flow.src != flow.dst
+
+    def test_fixed_volume_batch(self):
+        workload = self._workload()
+        flows = workload.fixed_volume(random.Random(1), 500_000, 0.01)
+        assert sum(f.size_bytes for f in flows) == 500_000
+        assert all(0.0 <= f.start_time <= 0.01 for f in flows)
+        assert [f.start_time for f in flows] == sorted(f.start_time for f in flows)
+
+    def test_poisson_open_loop_load(self):
+        workload = self._workload()
+        rng = random.Random(7)
+        flows = workload.poisson_open_loop(rng, load_bps=1e9, duration=0.5)
+        offered = sum(f.size_bytes for f in flows) * 8 / 0.5
+        assert offered == pytest.approx(1e9, rel=0.25)
+
+    def test_empty_entity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EntityWorkload("e", [], ["d0"])
+        with pytest.raises(ConfigurationError):
+            self._workload().vm_job_queues(random.Random(1), 0, 0.01)
+        with pytest.raises(ConfigurationError):
+            self._workload().vm_job_queues(random.Random(1), 100, -1.0)
+
+    def test_flow_spec_immutable(self):
+        flow = FlowSpec("a", "b", 100, 0.0)
+        with pytest.raises(AttributeError):
+            flow.size_bytes = 200
