@@ -10,6 +10,17 @@ everything; each scenario is executed once per benchmark round via
 
 import pytest
 
+from repro.harness.common import telemetry_from_env
+
+
+@pytest.fixture(autouse=True)
+def env_telemetry():
+    """Instrument benchmark runs from the environment: set
+    ``REPRO_TELEMETRY=out.jsonl`` (and/or ``REPRO_PROFILE=1``) to record a
+    trace of whatever benchmark you run, with zero code changes."""
+    with telemetry_from_env() as tele:
+        yield tele
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark and return its result.

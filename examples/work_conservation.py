@@ -15,7 +15,7 @@ Run:
     python examples/work_conservation.py
 """
 
-from repro import AqController, AqRequest, EntitySpec, TcpConnection, drop_policy
+from repro import AqController, AqRequest, TcpConnection, drop_policy
 from repro.cc.registry import make_cc
 from repro.core.workconserving import WorkConservingGate
 from repro.harness.common import queue_limit_bytes

@@ -45,7 +45,27 @@ from .errors import (
     SimulationError,
     TransportError,
 )
-from .harness.common import APPROACHES, AQ, DRL, PQ, PRL, EntitySpec
+from .harness.common import (
+    APPROACHES,
+    AQ,
+    DRL,
+    PQ,
+    PRL,
+    EntitySpec,
+    telemetry_from_env,
+    telemetry_session,
+)
+from .obs import (
+    JsonlSink,
+    MetricsRegistry,
+    RingBufferSink,
+    SimProfiler,
+    SummarySink,
+    Telemetry,
+    TraceBus,
+    TraceEvent,
+    read_jsonl,
+)
 from .harness.scenarios import (
     run_cc_pair,
     run_cc_pair_wct,
@@ -146,6 +166,18 @@ __all__ = [
     "jain_index",
     "FctCollector",
     "PacketTrace",
+    # observability
+    "Telemetry",
+    "MetricsRegistry",
+    "TraceBus",
+    "TraceEvent",
+    "SimProfiler",
+    "RingBufferSink",
+    "JsonlSink",
+    "SummarySink",
+    "read_jsonl",
+    "telemetry_session",
+    "telemetry_from_env",
     # errors
     "ReproError",
     "SimulationError",

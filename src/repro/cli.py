@@ -17,13 +17,21 @@ the scales of record with assertions; the CLI is for interactive poking.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from collections import Counter
 from typing import List, Optional
 
 from .core.agap import simulate_discrepancy_control
+from .errors import ConfigurationError
 from .core.resources import memory_series, tofino_usage
-from .harness.common import APPROACHES, EntitySpec
-from .harness.report import rate_range_str, render_table
+from .harness.common import APPROACHES, EntitySpec, telemetry_session
+from .harness.report import (
+    rate_range_str,
+    render_metrics_summary,
+    render_table,
+    write_metrics_snapshot,
+)
 from .harness.scenarios import (
     run_cc_pair,
     run_cc_pair_wct,
@@ -43,6 +51,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration-ms", type=float, default=60.0,
                         help="simulated duration in ms (default 60)")
     parser.add_argument("--seed", type=int, default=1)
+    _add_telemetry(parser)
+
+
+def _add_telemetry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry", metavar="OUT.JSONL", default=None,
+                        help="write a structured event trace (JSONL) and a "
+                             "metrics snapshot (<OUT>.metrics.json)")
+    parser.add_argument("--metrics-summary", action="store_true",
+                        help="print a metrics-registry summary after the run")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the sim loop and print hotspots")
+
+
+def metrics_path_for(trace_path: str) -> str:
+    """The metrics-snapshot path written alongside ``--telemetry`` output."""
+    stem = trace_path[:-6] if trace_path.endswith(".jsonl") else trace_path
+    return f"{stem}.metrics.json"
 
 
 def _approach_arg(parser: argparse.ArgumentParser, default: Optional[str] = None):
@@ -253,6 +278,46 @@ def cmd_share(args) -> int:
     return 0
 
 
+def cmd_telemetry_summarize(args) -> int:
+    """Round-trip check + human summary of a recorded telemetry run."""
+    from .obs.tracebus import read_jsonl
+
+    counts: Counter = Counter()
+    first_time = None
+    last_time = None
+    try:
+        for event in read_jsonl(args.trace):
+            counts[event.type] += 1
+            if first_time is None:
+                first_time = event.time
+            last_time = event.time
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    total = sum(counts.values())
+    rows = [[etype, str(n)] for etype, n in counts.most_common()]
+    rows.append(["total", str(total)])
+    print(render_table(["event type", "count"], rows))
+    if first_time is not None:
+        print(f"trace span: {first_time:.6f}s .. {last_time:.6f}s")
+
+    metrics_path = args.metrics or metrics_path_for(args.trace)
+    try:
+        with open(metrics_path, "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+    except FileNotFoundError:
+        if args.metrics is not None:
+            print(f"metrics snapshot not found: {metrics_path}", file=sys.stderr)
+            return 1
+        return 0
+    print()
+    print(render_metrics_summary(snapshot, max_rows=args.max_rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -267,6 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_fig1)
 
     p = sub.add_parser("fig3", help="strawman D(t) vs A-Gap peaks")
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_fig3)
 
     p = sub.add_parser("fig6", help="WCT vs VM count, one entity")
@@ -311,19 +377,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile-gbps", type=float, default=0.5)
     p.add_argument("--duration-ms", type=float, default=150.0)
     p.add_argument("--seed", type=int, default=1)
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_table3)
 
     p = sub.add_parser("table4", help="CC behaviour preservation")
     p.add_argument("--ccs", nargs="+", default=["cubic", "newreno", "dctcp"])
     p.add_argument("--seed", type=int, default=1)
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_table4)
 
     p = sub.add_parser("fig11", help="switch resource usage (model)")
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_fig11)
 
     p = sub.add_parser("fig12", help="memory vs number of AQs")
     p.add_argument("--counts", type=int, nargs="+",
                    default=[100_000, 1_000_000, 5_000_000])
+    _add_telemetry(p)
     p.set_defaults(fn=cmd_fig12)
 
     p = sub.add_parser("share", help="custom entity-sharing experiment")
@@ -334,13 +404,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flows", type=int, default=4)
     p.set_defaults(fn=cmd_share)
 
+    p = sub.add_parser("telemetry", help="telemetry post-processing")
+    tsub = p.add_subparsers(dest="telemetry_command", required=True)
+    ps = tsub.add_parser("summarize",
+                         help="summarize a recorded JSONL trace + metrics")
+    ps.add_argument("trace", help="JSONL trace written by --telemetry")
+    ps.add_argument("--metrics", default=None,
+                    help="metrics snapshot path (default: derived from trace)")
+    ps.add_argument("--max-rows", type=int, default=40)
+    ps.set_defaults(fn=cmd_telemetry_summarize)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+
+    trace_path = getattr(args, "telemetry", None)
+    metrics_summary = getattr(args, "metrics_summary", False)
+    profile = getattr(args, "profile", False)
+    if trace_path is None and not metrics_summary and not profile:
+        return args.fn(args)
+
+    try:
+        session = telemetry_session(jsonl_path=trace_path, profile=profile)
+        tele = session.__enter__()
+    except OSError as exc:
+        parser.error(f"cannot open telemetry output {trace_path!r}: {exc}")
+    try:
+        status = args.fn(args)
+    finally:
+        session.__exit__(None, None, None)
+    assert tele is not None
+    if trace_path is not None:
+        snapshot = write_metrics_snapshot(tele, metrics_path_for(trace_path))
+        print(f"telemetry: {tele.trace.events_published} events -> {trace_path}")
+        print(f"metrics snapshot -> {metrics_path_for(trace_path)}")
+    else:
+        snapshot = tele.metrics.snapshot()
+    if metrics_summary:
+        print(render_metrics_summary(snapshot))
+    if profile and tele.profiler is not None:
+        print(tele.profiler.render())
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,6 +13,7 @@ from typing import Optional
 from ..cc.base import DELAY_BASED, ECN_BASED
 from ..errors import ConfigurationError
 from ..net.packet import Packet
+from ..obs.events import EV_AGAP_UPDATE, EV_ECN_MARK, EV_RATE_LIMIT
 from .agap import AGapTracker
 from .feedback import FeedbackPolicy, drop_policy
 
@@ -62,6 +63,10 @@ class AugmentedQueue:
     policy:
         The CC feedback policy (drop / ECN / delay), see
         :mod:`repro.core.feedback`.
+    entity / telemetry:
+        Observability identity and handle. With enabled telemetry the AQ
+        emits ``agap_update`` / ``rate_limit`` / ``ecn_mark`` trace
+        events and publishes its counters into the metrics registry.
     """
 
     def __init__(
@@ -72,6 +77,8 @@ class AugmentedQueue:
         policy: Optional[FeedbackPolicy] = None,
         start_time: float = 0.0,
         record_delays: bool = False,
+        entity: str = "",
+        telemetry=None,
     ) -> None:
         if aq_id <= 0:
             raise ConfigurationError(f"AQ id must be positive, got {aq_id}")
@@ -83,6 +90,26 @@ class AugmentedQueue:
         self.tracker = AGapTracker(rate_bps, start_time=start_time)
         self.stats = AqStats()
         self.record_delays = record_delays
+        self.entity = entity
+        self._tele = telemetry if telemetry is not None and telemetry.enabled else None
+        if self._tele is not None:
+            self._tele.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry) -> None:
+        stats = self.stats
+        labels = {"aq_id": self.aq_id}
+        if self.entity:
+            labels["entity"] = self.entity
+        registry.counter("aq_arrived_packets", **labels).set(stats.arrived_packets)
+        registry.counter("aq_arrived_bytes", **labels).set(stats.arrived_bytes)
+        registry.counter("aq_dropped_packets", **labels).set(stats.dropped_packets)
+        registry.counter("aq_marked_packets", **labels).set(stats.marked_packets)
+        registry.gauge("aq_rate_bps", **labels).set(self.rate_bps)
+        registry.gauge("aq_gap_bytes", **labels).set(self.gap_bytes)
+        registry.gauge("aq_max_gap_bytes", **labels).set(stats.max_gap)
+        if stats.delay_samples:
+            hist = registry.histogram("aq_virtual_delay_s", **labels)
+            hist.observe_many(stats.delay_samples[hist.count :])
 
     # -- configuration ------------------------------------------------------------
 
@@ -116,10 +143,22 @@ class AugmentedQueue:
         gap = self.tracker.on_arrival(now, packet.size)
         if gap > stats.max_gap:
             stats.max_gap = gap
+        tele = self._tele
+        trace = tele.trace if tele is not None and tele.enabled else None
+        if trace is not None:
+            trace.emit_fields(
+                EV_AGAP_UPDATE, now, aq_id=self.aq_id,
+                flow_id=packet.flow_id, size=packet.size, value=gap,
+            )
         if gap > self.limit_bytes:
             self.tracker.undo_arrival(packet.size)
             stats.dropped_packets += 1
             stats.dropped_bytes += packet.size
+            if trace is not None:
+                trace.emit_fields(
+                    EV_RATE_LIMIT, now, aq_id=self.aq_id,
+                    flow_id=packet.flow_id, size=packet.size, value=gap,
+                )
             return False
         if self.record_delays:
             stats.delay_samples.append(self.tracker.virtual_queuing_delay())
@@ -129,6 +168,11 @@ class AugmentedQueue:
             if threshold is not None and gap > threshold and packet.ect:
                 packet.mark_ce()
                 stats.marked_packets += 1
+                if trace is not None:
+                    trace.emit_fields(
+                        EV_ECN_MARK, now, aq_id=self.aq_id,
+                        flow_id=packet.flow_id, size=packet.size, value=gap,
+                    )
         elif kind == DELAY_BASED:
             packet.virtual_delay += self.tracker.virtual_queuing_delay()
         return True

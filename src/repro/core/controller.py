@@ -180,6 +180,8 @@ class AqController:
             policy=req.policy,
             start_time=self.network.sim.now,
             record_delays=req.record_delays,
+            entity=req.entity,
+            telemetry=self.network.sim.telemetry,
         )
         grant = AqGrant(aq_id=aq.aq_id, request=req, aq=aq)
         self.pipeline(req.switch).deploy(aq, req.position)
@@ -212,6 +214,8 @@ class AqController:
                 policy=req.policy,
                 start_time=self.network.sim.now,
                 record_delays=req.record_delays,
+                entity=req.entity,
+                telemetry=self.network.sim.telemetry,
             )
             self.pipeline(switch_name).deploy(aq, req.position)
             secondary = AqGrant(

@@ -54,6 +54,10 @@ class WorkConservingGate:
         self.bypass_threshold_bytes = bypass_threshold_bytes
         self.bypassed_packets = 0
         self.enforced_packets = 0
+        self._gate_name = f"{switch.name}.{watched_port}.wc-gate"
+        tele = switch.sim.telemetry
+        if tele is not None and tele.enabled:
+            tele.metrics.add_collector(self._collect_metrics)
         # Replace the pipeline's ingress hook with the gated version.
         hooks = switch.ingress_hooks
         for index, hook in enumerate(hooks):
@@ -64,6 +68,14 @@ class WorkConservingGate:
             raise ConfigurationError(
                 "pipeline ingress hook not installed on this switch"
             )
+
+    def _collect_metrics(self, registry) -> None:
+        registry.counter("wc_bypassed_packets", gate=self._gate_name).set(
+            self.bypassed_packets
+        )
+        registry.counter("wc_enforced_packets", gate=self._gate_name).set(
+            self.enforced_packets
+        )
 
     def _gated_ingress(self, packet: Packet, now: float) -> bool:
         if packet.aq_ingress_id == NO_AQ:

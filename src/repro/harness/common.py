@@ -14,14 +14,17 @@ scenario uses to construct correctly-tagged flows.
 
 from __future__ import annotations
 
+import contextlib
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..cc.base import CongestionControl
 from ..cc.registry import make_cc
 from ..core.controller import AqController, AqGrant, AqRequest
 from ..core.feedback import delay_policy, drop_policy, ecn_policy
 from ..errors import ConfigurationError
+from ..obs.telemetry import Telemetry
 from ..ratelimit.dynamic import DynamicVmAllocator
 from ..ratelimit.token_bucket import TokenBucketShaper
 from ..units import MTU_BYTES, gbps, us
@@ -65,6 +68,52 @@ class EntitySpec:
     @property
     def is_udp(self) -> bool:
         return self.cc.lower() == "udp"
+
+
+@contextlib.contextmanager
+def telemetry_session(
+    jsonl_path: Optional[str] = None,
+    profile: bool = False,
+    ring_capacity: Optional[int] = None,
+    summary: bool = False,
+) -> Iterator[Optional[Telemetry]]:
+    """Ambiently instrument every simulator built inside the ``with`` body.
+
+    Yields the active :class:`Telemetry` (or ``None`` when every option is
+    off, so callers can wrap unconditionally::
+
+        with telemetry_session(jsonl_path=args.telemetry) as tele:
+            run_cc_pair(...)
+
+    Sinks are flushed/closed on exit.
+    """
+    if jsonl_path is None and not profile and ring_capacity is None and not summary:
+        yield None
+        return
+    tele = Telemetry(enabled=True, profile=profile)
+    if jsonl_path is not None:
+        tele.add_jsonl(jsonl_path)
+    if ring_capacity is not None:
+        tele.add_ring(ring_capacity)
+    if summary:
+        tele.add_summary()
+    try:
+        with tele.activate():
+            yield tele
+    finally:
+        tele.close()
+
+
+def telemetry_from_env() -> "contextlib.AbstractContextManager[Optional[Telemetry]]":
+    """:func:`telemetry_session` configured from the environment — the hook
+    benchmarks use so ``REPRO_TELEMETRY=out.jsonl pytest benchmarks/...``
+    instruments a run without touching benchmark code. Recognized:
+    ``REPRO_TELEMETRY`` (JSONL path), ``REPRO_PROFILE`` (any non-empty
+    value attaches the profiler)."""
+    return telemetry_session(
+        jsonl_path=os.environ.get("REPRO_TELEMETRY") or None,
+        profile=bool(os.environ.get("REPRO_PROFILE")),
+    )
 
 
 def ecn_threshold_bytes(rate_bps: float) -> int:

@@ -174,6 +174,8 @@ def run_longlived_share(
                     network.sim.schedule_at(spec.stop_time, conn.sender.stop)
 
     network.run(until=duration)
+    for meter in meters.values():
+        meter.stop()
 
     rates = {
         spec.name: meters[spec.name].mean_rate(
@@ -565,6 +567,8 @@ def run_vm_profile(
         launch(peer, vm_a, f"in:{peer}", in_meter)
 
     network.run(until=duration)
+    out_meter.stop()
+    in_meter.stop()
 
     after = duration * warmup_fraction
     return VmProfileResult(
@@ -605,7 +609,6 @@ def run_cc_preservation(
     under PQ — same throughput, same (virtual) queuing-delay distribution.
     """
     bottleneck = allocated_bps if not use_aq else capacity_bps
-    spec = EntitySpec(name="E", cc=cc, num_flows=num_flows)
     queue_config = QueueConfig(
         limit_bytes=queue_limit_bytes(),
         ecn_threshold_bytes=(
@@ -676,6 +679,7 @@ def run_cc_preservation(
         )
 
     network.run(until=duration)
+    meter.stop()
 
     throughput = meter.mean_rate(after=warmup)
     if use_aq:
@@ -920,6 +924,7 @@ def run_limit_ablation(
                 on_deliver=meter.add,
             )
         network.run(until=duration)
+        meter.stop()
         stats = grant.aq.stats
         drop_fraction = (
             stats.dropped_packets / stats.arrived_packets

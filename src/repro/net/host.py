@@ -45,7 +45,11 @@ class Host:
         self.name = name
         self._endpoints: Dict[int, FlowEndpoint] = {}
         self._default_endpoint: Optional[FlowEndpoint] = None
-        self._nic_queue = PhysicalFifoQueue(nic_buffer_bytes)
+        self._nic_queue = PhysicalFifoQueue(
+            nic_buffer_bytes, name=f"{name}.nic", telemetry=sim.telemetry
+        )
+        #: Packets the NIC queue refused at enqueue (host egress drops).
+        self.nic_dropped_packets = 0
         self._transmitter: Optional[Transmitter] = None
         self._shaper: Optional[Shaper] = None
         #: Called for every packet handed to the wire path (after shaping).
@@ -93,7 +97,8 @@ class Host:
         """Bypass shaping and enqueue directly on the NIC (shaper release path)."""
         if self.on_transmit is not None:
             self.on_transmit(packet)
-        self.transmitter.offer(packet)
+        if not self.transmitter.offer(packet):
+            self.nic_dropped_packets += 1
 
     # -- receiving --------------------------------------------------------------------
 

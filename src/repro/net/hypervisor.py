@@ -20,7 +20,7 @@ manage their own IDs coexist with hypervisor-managed ones.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from ..errors import ConfigurationError
 from .host import Host
@@ -40,6 +40,14 @@ class Hypervisor:
         self._egress_for_dst: Dict[str, int] = {}
         self.tagged_packets = 0
         host.on_transmit = self._tag
+        tele = host.sim.telemetry
+        if tele is not None and tele.enabled:
+            tele.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry) -> None:
+        registry.counter("hypervisor_tagged_packets", host=self.host.name).set(
+            self.tagged_packets
+        )
 
     # -- policy -----------------------------------------------------------------
 

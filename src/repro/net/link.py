@@ -61,6 +61,19 @@ class Link:
         self._handler = handler
         self.name = name
         self.stats = LinkStats()
+        tele = sim.telemetry
+        if tele is not None and tele.enabled and name:
+            tele.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry) -> None:
+        stats = self.stats
+        registry.counter("link_delivered_packets", link=self.name).set(
+            stats.delivered_packets
+        )
+        registry.counter("link_delivered_bytes", link=self.name).set(
+            stats.delivered_bytes
+        )
+        registry.gauge("link_busy_time_s", link=self.name).set(stats.busy_time)
 
     def deliver(self, packet: Packet) -> None:
         """Deliver a fully-serialized packet after propagation delay."""

@@ -30,6 +30,8 @@ class SwitchPort:
         self.queue = queue
         self.link = link
         self.transmitter = Transmitter(sim, queue, link, name=name)
+        #: Packets the queue discipline refused at enqueue (egress drops).
+        self.queue_dropped_packets = 0
 
     def add_egress_hook(self, hook: PipelineHook) -> None:
         self.transmitter.add_egress_hook(hook)
@@ -38,12 +40,18 @@ class SwitchPort:
 class SwitchStats:
     """Aggregate forwarding counters."""
 
-    __slots__ = ("received_packets", "forwarded_packets", "ingress_dropped_packets")
+    __slots__ = (
+        "received_packets",
+        "forwarded_packets",
+        "ingress_dropped_packets",
+        "queue_dropped_packets",
+    )
 
     def __init__(self) -> None:
         self.received_packets = 0
         self.forwarded_packets = 0
         self.ingress_dropped_packets = 0
+        self.queue_dropped_packets = 0
 
 
 class Switch:
@@ -58,6 +66,31 @@ class Switch:
         self.stats = SwitchStats()
         #: Observers called for every packet accepted for forwarding.
         self.taps: List[Callable[[Packet], None]] = []
+        tele = sim.telemetry
+        if tele is not None and tele.enabled:
+            tele.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry) -> None:
+        stats = self.stats
+        registry.counter("switch_received_packets", switch=self.name).set(
+            stats.received_packets
+        )
+        registry.counter("switch_forwarded_packets", switch=self.name).set(
+            stats.forwarded_packets
+        )
+        registry.counter("switch_ingress_dropped_packets", switch=self.name).set(
+            stats.ingress_dropped_packets
+        )
+        registry.counter("switch_queue_dropped_packets", switch=self.name).set(
+            stats.queue_dropped_packets
+        )
+        for port in self.ports.values():
+            registry.counter("port_queue_dropped_packets", port=port.name).set(
+                port.queue_dropped_packets
+            )
+            registry.gauge("port_backlog_bytes", port=port.name).set(
+                port.queue.bytes_queued
+            )
 
     # -- wiring ------------------------------------------------------------------
 
@@ -105,4 +138,9 @@ class Switch:
         for tap in self.taps:
             tap(packet)
         self.stats.forwarded_packets += 1
-        port.transmitter.offer(packet)
+        if not port.transmitter.offer(packet):
+            # The queue discipline refused the packet: an egress drop. The
+            # queue's own stats (and trace events) record the details; the
+            # switch keeps the aggregate so drops are visible per device.
+            port.queue_dropped_packets += 1
+            self.stats.queue_dropped_packets += 1

@@ -1,0 +1,56 @@
+"""Unified observability: metrics registry, trace bus, sim-loop profiler.
+
+See DESIGN.md's "Observability" section for the architecture; the short
+version: pull-based metrics (collectors run at snapshot time), push-based
+typed trace events (guarded by one ``enabled`` check), and an optional
+run-loop profiler — all bundled in a :class:`Telemetry` object carried by
+the simulator.
+"""
+
+from .events import (
+    CORE_EVENT_TYPES,
+    EV_AGAP_UPDATE,
+    EV_CWND_CHANGE,
+    EV_DEQUEUE,
+    EV_DROP,
+    EV_ECN_MARK,
+    EV_ENQUEUE,
+    EV_RATE_LIMIT,
+    TraceEvent,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import SimProfiler
+from .telemetry import Telemetry, get_active_telemetry
+from .tracebus import (
+    JsonlSink,
+    RingBufferSink,
+    SummarySink,
+    TraceBus,
+    TraceSink,
+    read_jsonl,
+)
+
+__all__ = [
+    "CORE_EVENT_TYPES",
+    "EV_AGAP_UPDATE",
+    "EV_CWND_CHANGE",
+    "EV_DEQUEUE",
+    "EV_DROP",
+    "EV_ECN_MARK",
+    "EV_ENQUEUE",
+    "EV_RATE_LIMIT",
+    "TraceEvent",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SimProfiler",
+    "Telemetry",
+    "get_active_telemetry",
+    "JsonlSink",
+    "RingBufferSink",
+    "SummarySink",
+    "TraceBus",
+    "TraceSink",
+    "read_jsonl",
+]

@@ -1,0 +1,108 @@
+"""Typed trace events — the vocabulary of the TraceBus.
+
+Every event is a :class:`TraceEvent` with a small fixed field set so
+sinks can serialize without per-type schemas. The ``type`` strings below
+are the core vocabulary; components may emit additional types, but the
+seven here are what the CI smoke test and ``repro telemetry summarize``
+treat as first-class.
+
+Field semantics (``None`` means "not applicable", dropped from JSON):
+
+========== ===================================================================
+``type``   one of the ``EV_*`` constants (or a custom string)
+``time``   simulation time in seconds
+``node``   emitting component, e.g. ``"s0.p0"`` (switch port queue),
+           ``"h1.nic"`` (host NIC queue), ``"tcp"`` (a transport)
+``flow_id`` transport flow id carried by the packet, if any
+``aq_id``  Augmented Queue id for AQ-originated events
+``size``   packet size in bytes, where a packet is involved
+``value``  type-specific scalar: the A-Gap in bytes for ``agap_update``,
+           the congestion window in bytes for ``cwnd_change``, the
+           backlog in bytes for queue events
+========== ===================================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: A packet was accepted into a physical queue.
+EV_ENQUEUE = "enqueue"
+#: A packet left a physical queue for transmission.
+EV_DEQUEUE = "dequeue"
+#: A packet was discarded by a physical queue (tail/RED drop).
+EV_DROP = "drop"
+#: A packet got its CE bit set (physical ECN or AQ virtual ECN).
+EV_ECN_MARK = "ecn_mark"
+#: An Augmented Queue recomputed its A-Gap on arrival.
+EV_AGAP_UPDATE = "agap_update"
+#: A rate limiter discarded a packet (AQ limit-drop or shaper backlog cap).
+EV_RATE_LIMIT = "rate_limit"
+#: A congestion-control algorithm changed its window.
+EV_CWND_CHANGE = "cwnd_change"
+
+#: The canonical event vocabulary, in emission-likelihood order.
+CORE_EVENT_TYPES = (
+    EV_ENQUEUE,
+    EV_DEQUEUE,
+    EV_DROP,
+    EV_ECN_MARK,
+    EV_AGAP_UPDATE,
+    EV_RATE_LIMIT,
+    EV_CWND_CHANGE,
+)
+
+_FIELDS = ("type", "time", "node", "flow_id", "aq_id", "size", "value")
+
+
+class TraceEvent:
+    """One structured observation; cheap to construct, trivially JSON-able."""
+
+    __slots__ = _FIELDS
+
+    def __init__(
+        self,
+        type: str,
+        time: float,
+        node: Optional[str] = None,
+        flow_id: Optional[int] = None,
+        aq_id: Optional[int] = None,
+        size: Optional[int] = None,
+        value: Optional[float] = None,
+    ) -> None:
+        self.type = type
+        self.time = time
+        self.node = node
+        self.flow_id = flow_id
+        self.aq_id = aq_id
+        self.size = size
+        self.value = value
+
+    def to_dict(self) -> dict:
+        """Compact dict: ``None`` fields are omitted entirely."""
+        out = {"type": self.type, "time": self.time}
+        for field in _FIELDS[2:]:
+            val = getattr(self, field)
+            if val is not None:
+                out[field] = val
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        return cls(
+            type=data["type"],
+            time=data["time"],
+            node=data.get("node"),
+            flow_id=data.get("flow_id"),
+            aq_id=data.get("aq_id"),
+            size=data.get("size"),
+            value=data.get("value"),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{f}={getattr(self, f)!r}"
+            for f in _FIELDS
+            if getattr(self, f) is not None
+        )
+        return f"TraceEvent({parts})"

@@ -1,0 +1,187 @@
+"""Metrics registry: labeled counters, gauges, and histograms.
+
+The registry is the *pull* half of the observability layer: components
+keep their existing ``__slots__`` stats objects on the hot path (free),
+and register a **collector** — a closure that publishes those numbers
+into the registry — which runs only when a snapshot is taken. Code that
+wants push-style instruments can also create :class:`Counter` /
+:class:`Gauge` / :class:`Histogram` directly via the get-or-create
+accessors and update them inline.
+
+Snapshots are plain dicts (JSON-safe) so ``harness/report.py`` can write
+them next to its text tables and ``repro telemetry summarize`` can read
+them back.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..stats.meters import percentile
+
+#: A label set in canonical (hashable) form: sorted (key, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (packets, bytes, drops...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name}: cannot decrease")
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        """Publish an absolute total (collector style: the source counter
+        is authoritative, the registry mirrors it)."""
+        self.value = float(value)
+
+
+class Gauge:
+    """A point-in-time value (backlog bytes, current A-Gap, rate)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A distribution summarized at snapshot time (delays, gaps, sizes)."""
+
+    __slots__ = ("name", "labels", "_values")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    def observe_many(self, values) -> None:
+        self._values.extend(float(v) for v in values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def summary(self) -> dict:
+        values = self._values
+        if not values:
+            return {"count": 0}
+        return {
+            "count": len(values),
+            "min": min(values),
+            "max": max(values),
+            "mean": sum(values) / len(values),
+            "p50": percentile(values, 50.0),
+            "p95": percentile(values, 95.0),
+            "p99": percentile(values, 99.0),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of labeled metrics plus snapshot collectors."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    # -- instruments -----------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter(name, key[1])
+        return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge(name, key[1])
+        return metric
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        key = (name, _label_key(labels))
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(name, key[1])
+        return metric
+
+    # -- collectors ------------------------------------------------------------
+
+    def add_collector(self, collector: Callable[["MetricsRegistry"], None]) -> None:
+        """Register a closure that publishes component stats into the
+        registry; it runs on every :meth:`snapshot` (never on the data
+        path)."""
+        self._collectors.append(collector)
+
+    def collect(self) -> None:
+        for collector in self._collectors:
+            collector(self)
+
+    # -- snapshots -------------------------------------------------------------
+
+    @staticmethod
+    def _entry(metric, value) -> dict:
+        entry = {"name": metric.name, "labels": dict(metric.labels)}
+        entry["value"] = value
+        return entry
+
+    def snapshot(self, run_collectors: bool = True) -> dict:
+        """JSON-safe dump of every metric (after running collectors)."""
+        if run_collectors:
+            self.collect()
+        return {
+            "counters": [
+                self._entry(m, m.value) for m in self._counters.values()
+            ],
+            "gauges": [self._entry(m, m.value) for m in self._gauges.values()],
+            "histograms": [
+                self._entry(m, m.summary()) for m in self._histograms.values()
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def value(self, name: str, **labels: object) -> float:
+        """Sum of a counter/gauge across all label sets matching ``labels``
+        (a subset match; pass nothing to sum every series of ``name``)."""
+        want = set(_label_key(labels))
+        total = 0.0
+        found = False
+        for store in (self._counters, self._gauges):
+            for (metric_name, label_key), metric in store.items():
+                if metric_name == name and want <= set(label_key):
+                    total += metric.value
+                    found = True
+        if not found:
+            raise ConfigurationError(f"no metric named {name!r} matching {labels}")
+        return total
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

@@ -1,0 +1,118 @@
+"""Sim-loop profiler: where does the wall clock go?
+
+When attached (``Telemetry(profile=True)`` or ``--profile``), the
+simulator's run loop switches to an instrumented variant that times every
+callback with ``perf_counter`` and keys the cost by the callback's
+qualified name — so a report line reads ``Link._finish`` or
+``TcpSender._on_timer`` rather than an opaque address. The profiler also
+tracks heap depth, events executed, and the wall-clock/sim-time ratio so
+"how fast is the simulator" is a one-call answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class SimProfiler:
+    """Accumulates run-loop timing; one instance spans many ``run()`` calls."""
+
+    def __init__(self, top_n: int = 10) -> None:
+        self.top_n = top_n
+        self.events_executed = 0
+        self.wall_time = 0.0
+        self.sim_time_advanced = 0.0
+        self.max_heap_depth = 0
+        self.run_calls = 0
+        # site -> [cumulative seconds, calls]
+        self._sites: Dict[str, List[float]] = {}
+
+    # -- feeding (called from Simulator.run's instrumented loop) ---------------
+
+    def record_callback(self, site: str, elapsed: float) -> None:
+        entry = self._sites.get(site)
+        if entry is None:
+            self._sites[site] = [elapsed, 1]
+        else:
+            entry[0] += elapsed
+            entry[1] += 1
+
+    def note_heap_depth(self, depth: int) -> None:
+        if depth > self.max_heap_depth:
+            self.max_heap_depth = depth
+
+    def note_run(self, events: int, wall: float, sim_advanced: float) -> None:
+        self.run_calls += 1
+        self.events_executed += events
+        self.wall_time += wall
+        if sim_advanced > 0:
+            self.sim_time_advanced += sim_advanced
+
+    # -- reporting -------------------------------------------------------------
+
+    @staticmethod
+    def site_name(fn) -> str:
+        try:
+            return fn.__qualname__
+        except AttributeError:
+            return repr(fn)
+
+    def hotspots(self, top_n: Optional[int] = None) -> List[Tuple[str, float, int]]:
+        """(site, cumulative_seconds, calls) sorted by cumulative time."""
+        ranked = sorted(
+            ((site, total, calls) for site, (total, calls) in self._sites.items()),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+        return ranked[: top_n if top_n is not None else self.top_n]
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events_executed / self.wall_time if self.wall_time > 0 else 0.0
+
+    @property
+    def sim_wall_ratio(self) -> float:
+        """>1 means the simulator runs faster than real time."""
+        return self.sim_time_advanced / self.wall_time if self.wall_time > 0 else 0.0
+
+    def snapshot(self, sim=None) -> dict:
+        snap = {
+            "events_executed": self.events_executed,
+            "wall_time_s": self.wall_time,
+            "sim_time_advanced_s": self.sim_time_advanced,
+            "events_per_second": self.events_per_second,
+            "sim_wall_ratio": self.sim_wall_ratio,
+            "max_heap_depth": self.max_heap_depth,
+            "run_calls": self.run_calls,
+            "hotspots": [
+                {"site": site, "cumulative_s": total, "calls": calls}
+                for site, total, calls in self.hotspots()
+            ],
+        }
+        if sim is not None:
+            snap["pending_events"] = sim.pending_events()
+            snap["next_event_time"] = sim.peek_time()
+        return snap
+
+    def render(self, sim=None) -> str:
+        snap = self.snapshot(sim)
+        lines = [
+            "sim-loop profile",
+            f"  events executed : {snap['events_executed']}",
+            f"  wall time       : {snap['wall_time_s']:.4f} s",
+            f"  events/sec      : {snap['events_per_second']:,.0f}",
+            f"  sim/wall ratio  : {snap['sim_wall_ratio']:.3f}x",
+            f"  max heap depth  : {snap['max_heap_depth']}",
+        ]
+        if sim is not None:
+            lines.append(f"  pending events  : {snap['pending_events']}")
+        if snap["hotspots"]:
+            lines.append(f"  top {len(snap['hotspots'])} callback sites by cumulative time:")
+            width = max(len(h["site"]) for h in snap["hotspots"])
+            for h in snap["hotspots"]:
+                mean_us = 1e6 * h["cumulative_s"] / h["calls"] if h["calls"] else 0.0
+                lines.append(
+                    f"    {h['site']:<{width}}  {h['cumulative_s']:.4f} s"
+                    f"  x{h['calls']}  ({mean_us:.1f} us/call)"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Telemetry facade: one object bundling metrics, tracing, and profiling.
+
+A :class:`Telemetry` instance is what flows through the simulation — the
+:class:`~repro.sim.engine.Simulator` holds one, components reach it via
+``sim.telemetry`` (or receive it explicitly, e.g. queues built before a
+simulator exists), and the hot-path contract is a single check::
+
+    tele = self._tele
+    if tele is not None and tele.enabled:
+        tele.trace.emit_fields(...)
+
+Disabled is the default: a fresh simulator gets a disabled, sink-less
+``Telemetry`` so instrumented call sites cost one attribute load and one
+branch. Because enabling toggles a flag on the *same object* (never a
+swap), components may cache the reference forever.
+
+For code paths that build their own :class:`Network`/:class:`Simulator`
+internally (every harness scenario does), :meth:`Telemetry.activate`
+installs the instance as the *ambient* telemetry that new simulators
+pick up by default — so the CLI can wrap any experiment without
+threading a parameter through every scenario signature.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from .metrics import MetricsRegistry
+from .profiler import SimProfiler
+from .tracebus import JsonlSink, RingBufferSink, SummarySink, TraceBus
+
+#: Module-global ambient telemetry; see :meth:`Telemetry.activate`.
+_ACTIVE: Optional["Telemetry"] = None
+
+
+def get_active_telemetry() -> Optional["Telemetry"]:
+    """The ambient telemetry installed by :meth:`Telemetry.activate`, if any."""
+    return _ACTIVE
+
+
+class Telemetry:
+    """Bundle of :class:`MetricsRegistry`, :class:`TraceBus`, and profiler."""
+
+    def __init__(self, enabled: bool = False, profile: bool = False) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.trace = TraceBus()
+        self.profiler: Optional[SimProfiler] = SimProfiler() if profile else None
+
+    # -- switches --------------------------------------------------------------
+
+    def enable(self) -> "Telemetry":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Telemetry":
+        self.enabled = False
+        return self
+
+    def enable_profiling(self) -> SimProfiler:
+        if self.profiler is None:
+            self.profiler = SimProfiler()
+        return self.profiler
+
+    # -- sink shorthands -------------------------------------------------------
+
+    def add_ring(self, capacity: int = 10000) -> RingBufferSink:
+        return self.trace.attach(RingBufferSink(capacity))
+
+    def add_jsonl(self, destination) -> JsonlSink:
+        return self.trace.attach(JsonlSink(destination))
+
+    def add_summary(self) -> SummarySink:
+        return self.trace.attach(SummarySink())
+
+    def close(self) -> None:
+        """Flush every sink (call after the run; safe to call twice)."""
+        self.trace.close()
+
+    # -- ambient installation --------------------------------------------------
+
+    @contextlib.contextmanager
+    def activate(self) -> Iterator["Telemetry"]:
+        """Install as the default telemetry for simulators created inside
+        the ``with`` block. Nesting restores the previous ambient value."""
+        global _ACTIVE
+        previous = _ACTIVE
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = previous

@@ -20,6 +20,7 @@ from typing import Deque, Optional
 
 from ..errors import ConfigurationError
 from ..net.packet import Packet
+from ..obs.events import EV_DEQUEUE, EV_DROP, EV_ECN_MARK, EV_ENQUEUE
 from .base import QueueDiscipline
 
 
@@ -70,6 +71,12 @@ class PhysicalFifoQueue(QueueDiscipline):
         ``red_drop_non_ect`` is disabled.
     collect_delays:
         Record per-packet queuing delay (off by default; it allocates).
+    name / telemetry:
+        Identity and telemetry handle for the observability layer. When
+        the telemetry is enabled at construction time the queue emits
+        ``enqueue``/``dequeue``/``drop``/``ecn_mark`` trace events and
+        registers a metrics collector; otherwise the data path is
+        untouched (one ``is not None`` check).
     """
 
     def __init__(
@@ -79,6 +86,8 @@ class PhysicalFifoQueue(QueueDiscipline):
         collect_delays: bool = False,
         red_drop_non_ect: bool = True,
         seed: int = 0,
+        name: str = "",
+        telemetry=None,
     ) -> None:
         if limit_bytes <= 0:
             raise ConfigurationError(f"queue limit must be positive, got {limit_bytes}")
@@ -94,13 +103,48 @@ class PhysicalFifoQueue(QueueDiscipline):
         self._queue: Deque[Packet] = deque()
         self._bytes = 0
         self.stats = FifoQueueStats()
+        self.name = name
+        # Only carry an enabled telemetry; a disabled one would still cost
+        # the ``tele.enabled`` load per packet for nothing.
+        self._tele = telemetry if telemetry is not None and telemetry.enabled else None
+        if self._tele is not None:
+            self._tele.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry) -> None:
+        stats = self.stats
+        label = self.name or f"fifo@{id(self):x}"
+        registry.counter("queue_enqueued_packets", queue=label).set(
+            stats.enqueued_packets
+        )
+        registry.counter("queue_dequeued_packets", queue=label).set(
+            stats.dequeued_packets
+        )
+        registry.counter("queue_dropped_packets", queue=label).set(
+            stats.dropped_packets
+        )
+        registry.counter("queue_ecn_marked_packets", queue=label).set(
+            stats.ecn_marked_packets
+        )
+        registry.gauge("queue_backlog_bytes", queue=label).set(self._bytes)
+        registry.gauge("queue_max_backlog_bytes", queue=label).set(
+            stats.max_bytes_queued
+        )
+        if stats.queuing_delays:
+            hist = registry.histogram("queue_delay_s", queue=label)
+            hist.observe_many(stats.queuing_delays[hist.count :])
 
     # -- QueueDiscipline -------------------------------------------------------
 
     def enqueue(self, packet: Packet, now: float) -> bool:
+        tele = self._tele
         if self._bytes + packet.size > self.limit_bytes:
             self.stats.dropped_packets += 1
             self.stats.dropped_bytes += packet.size
+            if tele is not None and tele.enabled:
+                tele.trace.emit_fields(
+                    EV_DROP, now, node=self.name, flow_id=packet.flow_id,
+                    size=packet.size, value=float(self._bytes),
+                )
             return False
         if (
             self.ecn_threshold_bytes is not None
@@ -109,6 +153,11 @@ class PhysicalFifoQueue(QueueDiscipline):
             if packet.ect:
                 packet.mark_ce()
                 self.stats.ecn_marked_packets += 1
+                if tele is not None and tele.enabled:
+                    tele.trace.emit_fields(
+                        EV_ECN_MARK, now, node=self.name, flow_id=packet.flow_id,
+                        size=packet.size, value=float(self._bytes),
+                    )
             elif self.red_drop_non_ect:
                 # RED-style early drop for non-ECT traffic: probability
                 # ramps linearly from 0 at the threshold to 1 at twice the
@@ -122,6 +171,11 @@ class PhysicalFifoQueue(QueueDiscipline):
                 if self._rng.random() < drop_probability:
                     self.stats.dropped_packets += 1
                     self.stats.dropped_bytes += packet.size
+                    if tele is not None and tele.enabled:
+                        tele.trace.emit_fields(
+                            EV_DROP, now, node=self.name, flow_id=packet.flow_id,
+                            size=packet.size, value=float(self._bytes),
+                        )
                     return False
         packet.enqueue_time = now
         self._queue.append(packet)
@@ -130,6 +184,11 @@ class PhysicalFifoQueue(QueueDiscipline):
         self.stats.enqueued_bytes += packet.size
         if self._bytes > self.stats.max_bytes_queued:
             self.stats.max_bytes_queued = self._bytes
+        if tele is not None and tele.enabled:
+            tele.trace.emit_fields(
+                EV_ENQUEUE, now, node=self.name, flow_id=packet.flow_id,
+                size=packet.size, value=float(self._bytes),
+            )
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
@@ -141,6 +200,12 @@ class PhysicalFifoQueue(QueueDiscipline):
         self.stats.dequeued_bytes += packet.size
         if self._collect_delays:
             self.stats.record_delay(now - packet.enqueue_time)
+        tele = self._tele
+        if tele is not None and tele.enabled:
+            tele.trace.emit_fields(
+                EV_DEQUEUE, now, node=self.name, flow_id=packet.flow_id,
+                size=packet.size, value=float(self._bytes),
+            )
         return packet
 
     @property

@@ -53,6 +53,8 @@ class MultiQueuePort(QueueDiscipline):
         scheduler: str = ROUND_ROBIN,
         ecn_threshold_bytes: Optional[int] = None,
         weights: Optional[Sequence[float]] = None,
+        name: str = "",
+        telemetry=None,
     ) -> None:
         if num_queues < 1:
             raise ConfigurationError(f"need at least one queue, got {num_queues}")
@@ -65,12 +67,15 @@ class MultiQueuePort(QueueDiscipline):
         self.num_queues = num_queues
         self.scheduler = scheduler
         self.classifier = classifier or hash_on_entity(num_queues)
+        self.name = name
         self.queues: List[PhysicalFifoQueue] = [
             PhysicalFifoQueue(
                 limit_bytes=limit_bytes_per_queue,
                 ecn_threshold_bytes=ecn_threshold_bytes,
+                name=f"{name}.q{i}" if name else "",
+                telemetry=telemetry,
             )
-            for _ in range(num_queues)
+            for i in range(num_queues)
         ]
         self.weights = list(weights) if weights is not None else [1.0] * num_queues
         self._rr_index = 0

@@ -24,6 +24,7 @@ from typing import Callable, Deque, Optional
 
 from ..errors import ConfigurationError
 from ..net.packet import Packet
+from ..obs.events import EV_DROP
 from .base import QueueDiscipline
 
 #: Classification function: packet -> key.
@@ -78,6 +79,8 @@ class PerFlowQueue(QueueDiscipline):
         key_fn: KeyFn = flow_key,
         max_queues: Optional[int] = None,
         weight_fn: Optional[Callable[[int], float]] = None,
+        name: str = "",
+        telemetry=None,
     ) -> None:
         if limit_bytes_per_queue <= 0:
             raise ConfigurationError("per-queue limit must be positive")
@@ -88,13 +91,35 @@ class PerFlowQueue(QueueDiscipline):
         self.key_fn = key_fn
         self.max_queues = max_queues
         self.weight_fn = weight_fn
+        self.name = name
         #: Active (backlogged) queues in round-robin order.
         self._queues: "OrderedDict[int, _SubQueue]" = OrderedDict()
         self._bytes = 0
         self.dropped_packets = 0
         self.peak_queue_count = 0
+        self._tele = telemetry if telemetry is not None and telemetry.enabled else None
+        if self._tele is not None:
+            self._tele.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry) -> None:
+        label = self.name or f"perflow@{id(self):x}"
+        registry.counter("queue_dropped_packets", queue=label).set(
+            self.dropped_packets
+        )
+        registry.gauge("queue_backlog_bytes", queue=label).set(self._bytes)
+        registry.gauge("perflow_peak_queue_count", queue=label).set(
+            self.peak_queue_count
+        )
 
     # -- QueueDiscipline -----------------------------------------------------
+
+    def _emit_drop(self, packet: Packet, now: float) -> None:
+        tele = self._tele
+        if tele is not None and tele.enabled:
+            tele.trace.emit_fields(
+                EV_DROP, now, node=self.name, flow_id=packet.flow_id,
+                size=packet.size, value=float(self._bytes),
+            )
 
     def enqueue(self, packet: Packet, now: float) -> bool:
         key = self.key_fn(packet)
@@ -105,6 +130,7 @@ class PerFlowQueue(QueueDiscipline):
                 # the paper describes — drop (a real switch would fall back
                 # to a shared default queue, same loss of isolation).
                 self.dropped_packets += 1
+                self._emit_drop(packet, now)
                 return False
             weight = self.weight_fn(key) if self.weight_fn else 1.0
             queue = _SubQueue(weight)
@@ -113,6 +139,7 @@ class PerFlowQueue(QueueDiscipline):
                 self.peak_queue_count = len(self._queues)
         if queue.bytes + packet.size > self.limit_bytes_per_queue:
             self.dropped_packets += 1
+            self._emit_drop(packet, now)
             return False
         packet.enqueue_time = now
         queue.packets.append(packet)

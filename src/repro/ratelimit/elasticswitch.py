@@ -241,7 +241,6 @@ class ElasticSwitch:
         self, key: PairKey, bucket: TokenBucketShaper, pair_guarantee: float
     ) -> float:
         """RA probing: climb above the guarantee while loss-free."""
-        released = bucket.shaped_packets  # proxy for activity
         delivered = self._delivered.get(key, 0)
         delivered_delta = delivered - self._delivered_last.get(key, 0)
         self._delivered_last[key] = delivered

@@ -15,6 +15,7 @@ from typing import Callable, Deque
 
 from ..errors import ConfigurationError
 from ..net.packet import ACK, Packet
+from ..obs.events import EV_RATE_LIMIT
 from ..units import MTU_BYTES
 
 #: Tolerance for float round-off in token accounting. Without it, a
@@ -59,6 +60,19 @@ class TokenBucketShaper:
         self._release_event = None
         self.shaped_packets = 0
         self.dropped_packets = 0
+        tele = sim.telemetry
+        self._tele = tele if tele is not None and tele.enabled else None
+        if self._tele is not None:
+            self._tele.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry) -> None:
+        labels = {"shaper": f"tb@{id(self):x}"}
+        registry.counter("shaper_shaped_packets", **labels).set(self.shaped_packets)
+        registry.counter("shaper_dropped_packets", **labels).set(
+            self.dropped_packets
+        )
+        registry.gauge("shaper_rate_bps", **labels).set(self.rate_bps)
+        registry.gauge("shaper_backlog_bytes", **labels).set(self._backlog_bytes)
 
     # -- configuration ------------------------------------------------------------
 
@@ -93,6 +107,13 @@ class TokenBucketShaper:
             return
         if self._backlog_bytes + packet.size > self.backlog_limit_bytes:
             self.dropped_packets += 1
+            tele = self._tele
+            if tele is not None and tele.enabled:
+                tele.trace.emit_fields(
+                    EV_RATE_LIMIT, self.sim.now, node="shaper",
+                    flow_id=packet.flow_id, size=packet.size,
+                    value=float(self._backlog_bytes),
+                )
             return
         self._backlog.append(packet)
         self._backlog_bytes += packet.size

@@ -9,11 +9,17 @@ matter for reproducing the paper:
   than they fire; cancelled events are tombstoned and skipped on pop.
 * **Speed** — the hot path (schedule/pop) avoids attribute lookups and
   allocations where practical; events are small ``__slots__`` objects.
+
+The simulator also carries the run's :class:`~repro.obs.Telemetry`: the
+profiler (when attached) swaps the run loop for an instrumented variant,
+and components reach the trace bus / metrics registry via
+``sim.telemetry``.
 """
 
 from __future__ import annotations
 
 import heapq
+import time as _time
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
@@ -26,21 +32,36 @@ class Event:
     and inspecting :attr:`time` / :attr:`cancelled`.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Simulator",
+    ):
         self.time = time
         self.seq = seq
         self.fn: Optional[Callable[..., Any]] = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing. Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
-        # Drop references early so cancelled timers do not pin packets alive.
-        self.fn = None
-        self.args = ()
+        # ``fn`` is None once the run loop has consumed the event, so the
+        # live-event counter only moves for genuinely pending events.
+        if self.fn is not None:
+            # Drop references early so cancelled timers do not pin packets
+            # alive while their tombstones wait in the heap.
+            self.fn = None
+            self.args = ()
+            self._sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -60,14 +81,27 @@ class Simulator:
         sim = Simulator()
         sim.schedule(0.001, my_callback, arg1, arg2)
         sim.run(until=1.0)
+
+    ``telemetry`` defaults to the ambient instance installed by
+    :meth:`repro.obs.Telemetry.activate` (so a CLI flag can instrument
+    scenarios that build their own simulators), falling back to a fresh
+    disabled instance.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry=None) -> None:
         self._heap: list[Event] = []
         self._now = 0.0
         self._seq = 0
         self._running = False
         self._events_processed = 0
+        self._live = 0
+        if telemetry is None:
+            from ..obs.telemetry import Telemetry, get_active_telemetry
+
+            telemetry = get_active_telemetry()
+            if telemetry is None:
+                telemetry = Telemetry()
+        self.telemetry = telemetry
 
     # -- clock ---------------------------------------------------------------
 
@@ -96,11 +130,19 @@ class Simulator:
                 f"cannot schedule at {time} before current time {self._now}"
             )
         self._seq += 1
-        event = Event(time, self._seq, fn, args)
+        event = Event(time, self._seq, fn, args, self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     # -- execution ---------------------------------------------------------------
+
+    def _prune_cancelled(self) -> None:
+        """Pop tombstones off the top of the heap until a live event (or
+        nothing) is exposed. Shared by the run loop and :meth:`peek_time`."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Process events until the calendar drains, ``until`` is reached,
@@ -113,42 +155,89 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
-        processed = 0
+        profiler = self.telemetry.profiler if self.telemetry is not None else None
         heap = self._heap
+        processed = 0
         try:
-            while heap:
-                event = heap[0]
-                if event.cancelled:
+            if profiler is None:
+                # Fast path: identical to the pre-telemetry loop.
+                while heap:
+                    event = heap[0]
+                    if event.cancelled:
+                        self._prune_cancelled()
+                        continue
+                    if until is not None and event.time > until:
+                        break
                     heapq.heappop(heap)
-                    continue
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(heap)
-                self._now = event.time
-                fn, args = event.fn, event.args
-                event.fn, event.args = None, ()
-                assert fn is not None
-                fn(*args)
-                processed += 1
-                self._events_processed += 1
-                if max_events is not None and processed >= max_events:
-                    break
+                    self._live -= 1
+                    self._now = event.time
+                    fn, args = event.fn, event.args
+                    event.fn, event.args = None, ()
+                    assert fn is not None
+                    fn(*args)
+                    processed += 1
+                    self._events_processed += 1
+                    if max_events is not None and processed >= max_events:
+                        break
+            else:
+                processed = self._run_profiled(until, max_events, profiler)
         finally:
             self._running = False
         if until is not None and self._now < until:
             self._now = until
         return processed
 
+    def _run_profiled(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        profiler,
+    ) -> int:
+        """Run-loop variant that times every callback for the profiler."""
+        heap = self._heap
+        perf = _time.perf_counter
+        site_name = profiler.site_name
+        processed = 0
+        start_sim = self._now
+        run_start = perf()
+        try:
+            while heap:
+                event = heap[0]
+                if event.cancelled:
+                    self._prune_cancelled()
+                    continue
+                if until is not None and event.time > until:
+                    break
+                profiler.note_heap_depth(len(heap))
+                heapq.heappop(heap)
+                self._live -= 1
+                self._now = event.time
+                fn, args = event.fn, event.args
+                event.fn, event.args = None, ()
+                assert fn is not None
+                site = site_name(fn)
+                t0 = perf()
+                fn(*args)
+                profiler.record_callback(site, perf() - t0)
+                processed += 1
+                self._events_processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            end_sim = until if until is not None and until > self._now else self._now
+            profiler.note_run(processed, perf() - run_start, end_sim - start_sim)
+        return processed
+
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the calendar is empty."""
+        self._prune_cancelled()
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
         return heap[0].time if heap else None
 
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events in the calendar."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events in the calendar. O(1): a live
+        counter is maintained on schedule/cancel/pop."""
+        return self._live
 
 
 class PeriodicTask:

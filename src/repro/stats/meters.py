@@ -26,21 +26,49 @@ class ThroughputMeter:
         self.name = name
         self.total_bytes = 0
         self._window_bytes = 0
+        self._window_start = sim.now
+        self._last_add_time = sim.now
         self.samples: List[Tuple[float, float]] = []  # (window end time, bps)
         self._task = PeriodicTask(sim, interval, self._sample)
+        self._stopped = False
 
-    def add(self, nbytes: int, now: float = 0.0) -> None:
-        """Record delivered bytes (signature matches on_deliver hooks)."""
+    def add(self, nbytes: int, now: Optional[float] = None) -> None:
+        """Record delivered bytes (signature matches on_deliver hooks).
+
+        ``now`` times the delivery so :meth:`stop` can close out a final
+        partial window; callbacks that omit it fall back to ``sim.now``
+        (identical in-run, since callbacks fire at the current time).
+        """
         self.total_bytes += nbytes
         self._window_bytes += nbytes
+        self._last_add_time = self.sim.now if now is None else now
 
     def _sample(self) -> None:
         rate = self._window_bytes * 8.0 / self.interval
         self.samples.append((self.sim.now, rate))
         self._window_bytes = 0
+        self._window_start = self.sim.now
 
     def stop(self) -> None:
+        """Stop sampling, flushing any bytes of the final partial window.
+
+        Without the flush, a run whose duration is not an exact multiple
+        of ``interval`` silently discards the tail bytes, biasing short-run
+        mean rates low.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
         self._task.stop()
+        if self._window_bytes > 0:
+            end = max(self.sim.now, self._last_add_time)
+            elapsed = end - self._window_start
+            # Sub-1%-window tails yield wild rates from float jitter; fold
+            # them into the duration-based summaries instead.
+            if elapsed > 0.01 * self.interval:
+                self.samples.append((end, self._window_bytes * 8.0 / elapsed))
+                self._window_bytes = 0
+                self._window_start = end
 
     # -- summaries ----------------------------------------------------------------
 
@@ -99,7 +127,7 @@ class CompletionTracker:
 
     def __init__(self, expected: int) -> None:
         if expected <= 0:
-            raise ConfigurationError(f"expected flow count must be positive")
+            raise ConfigurationError("expected flow count must be positive")
         self.expected = expected
         self.completed = 0
         self.last_completion_time: Optional[float] = None

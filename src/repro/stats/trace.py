@@ -5,6 +5,11 @@ records compact per-packet records (time, flow, size, headers of
 interest). Summaries answer the questions experiments keep asking —
 per-flow/per-entity byte counts, retransmission counts, mark rates —
 without every scenario reinventing its own counters.
+
+For system-wide, typed event tracing (drops, ECN marks, A-Gap updates,
+cwnd changes) use :mod:`repro.obs` — its :class:`~repro.obs.TraceBus`
+subsumes this tap mechanism for everything except the per-packet
+payload-level summaries kept here.
 """
 
 from __future__ import annotations

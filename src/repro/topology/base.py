@@ -36,19 +36,29 @@ class QueueConfig:
     ecn_threshold_bytes: Optional[int] = None
     collect_delays: bool = False
 
-    def build(self) -> PhysicalFifoQueue:
+    def build(self, name: str = "", telemetry=None) -> PhysicalFifoQueue:
         return PhysicalFifoQueue(
             limit_bytes=self.limit_bytes,
             ecn_threshold_bytes=self.ecn_threshold_bytes,
             collect_delays=self.collect_delays,
+            name=name,
+            telemetry=telemetry,
         )
 
 
 class Network:
-    """All simulated elements of one scenario."""
+    """All simulated elements of one scenario.
 
-    def __init__(self, sim: Optional[Simulator] = None, seed: int = 0) -> None:
-        self.sim = sim if sim is not None else Simulator()
+    ``telemetry`` (or the ambient active :class:`~repro.obs.Telemetry`,
+    via the simulator) is propagated to every queue/switch/link built
+    through this container.
+    """
+
+    def __init__(
+        self, sim: Optional[Simulator] = None, seed: int = 0, telemetry=None
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator(telemetry=telemetry)
+        self.telemetry = self.sim.telemetry
         self.rng = RngRegistry(seed)
         self.hosts: Dict[str, Host] = {}
         self.switches: Dict[str, Switch] = {}
@@ -102,7 +112,13 @@ class Network:
             self.sim, rate_bps, prop_delay, host.receive,
             name=f"{switch_name}->{host_name}",
         )
-        switch.add_port(host_name, queue_config.build(), downlink)
+        switch.add_port(
+            host_name,
+            queue_config.build(
+                name=f"{switch_name}.{host_name}", telemetry=self.telemetry
+            ),
+            downlink,
+        )
         self.links[downlink.name] = downlink
         self._host_uplink[host_name] = switch_name
 
@@ -120,11 +136,19 @@ class Network:
         queue_config = queue_config or QueueConfig()
 
         ab = Link(self.sim, rate_bps, prop_delay, b.receive, name=f"{a_name}->{b_name}")
-        a.add_port(b_name, queue_config.build(), ab)
+        a.add_port(
+            b_name,
+            queue_config.build(name=f"{a_name}.{b_name}", telemetry=self.telemetry),
+            ab,
+        )
         self.links[ab.name] = ab
 
         ba = Link(self.sim, rate_bps, prop_delay, a.receive, name=f"{b_name}->{a_name}")
-        b.add_port(a_name, queue_config.build(), ba)
+        b.add_port(
+            a_name,
+            queue_config.build(name=f"{b_name}.{a_name}", telemetry=self.telemetry),
+            ba,
+        )
         self.links[ba.name] = ba
 
         self._switch_adj[a_name][b_name] = b_name

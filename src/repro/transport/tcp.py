@@ -23,6 +23,7 @@ from ..cc.base import AckContext, CongestionControl
 from ..errors import TransportError
 from ..net.host import Host
 from ..net.packet import Packet, make_ack, make_data
+from ..obs.events import EV_CWND_CHANGE
 from ..units import ACK_BYTES, MSS_BYTES, ms
 
 #: RFC 6298 parameters, scaled for data center RTTs.
@@ -121,8 +122,38 @@ class TcpSender:
         self._next_send_time = 0.0
         self.completed = False
 
+        tele = sim.telemetry
+        self._tele = tele if tele is not None and tele.enabled else None
+        self._last_reported_cwnd = cc.cwnd
+        if self._tele is not None:
+            self._tele.metrics.add_collector(self._collect_metrics)
+
         host.register_flow(flow_id, self)
         sim.schedule_at(start_time, self._start)
+
+    def _collect_metrics(self, registry) -> None:
+        stats = self.stats
+        labels = {"flow_id": self.flow_id, "transport": "tcp"}
+        registry.counter("tcp_segments_sent", **labels).set(stats.segments_sent)
+        registry.counter("tcp_bytes_sent", **labels).set(stats.bytes_sent)
+        registry.counter("tcp_retransmissions", **labels).set(stats.retransmissions)
+        registry.counter("tcp_timeouts", **labels).set(stats.timeouts)
+        registry.counter("tcp_fast_retransmits", **labels).set(
+            stats.fast_retransmits
+        )
+        registry.gauge("tcp_cwnd_packets", **labels).set(self.cc.cwnd)
+        if self._srtt > 0:
+            registry.gauge("tcp_srtt_s", **labels).set(self._srtt)
+
+    def _trace_cwnd(self, now: float) -> None:
+        """Emit ``cwnd_change`` when a CC callback moved the window."""
+        cwnd = self.cc.cwnd
+        if cwnd != self._last_reported_cwnd:
+            self._last_reported_cwnd = cwnd
+            self._tele.trace.emit_fields(
+                EV_CWND_CHANGE, now, node="tcp", flow_id=self.flow_id,
+                value=float(cwnd),
+            )
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -268,6 +299,8 @@ class TcpSender:
                 flightsize_packets=len(self._inflight),
             )
             self.cc.on_ack(ctx)
+            if self._tele is not None and self._tele.enabled:
+                self._trace_cwnd(now)
 
         if self.size_bytes is not None and self.snd_una >= self.size_bytes:
             self._complete()
@@ -285,6 +318,8 @@ class TcpSender:
             self._recover_seq = self.snd_nxt
             self.stats.fast_retransmits += 1
             self.cc.on_packet_loss(now)
+            if self._tele is not None and self._tele.enabled:
+                self._trace_cwnd(now)
             self._retransmit_hole(self.snd_una)
 
     def _retransmit_hole(self, seq: int) -> None:
@@ -326,6 +361,8 @@ class TcpSender:
             return
         self.stats.timeouts += 1
         self.cc.on_rto(self.sim.now)
+        if self._tele is not None and self._tele.enabled:
+            self._trace_cwnd(self.sim.now)
         # Go-back-N: forget everything in flight and restart from snd_una.
         self._inflight.clear()
         self._inflight_bytes = 0

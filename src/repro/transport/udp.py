@@ -48,7 +48,16 @@ class UdpSender:
         self.packets_sent = 0
         self._interval = transmission_time(packet_size, rate_bps)
         self._stopped = False
+        tele = sim.telemetry
+        if tele is not None and tele.enabled:
+            tele.metrics.add_collector(self._collect_metrics)
         sim.schedule_at(start_time, self._send_next)
+
+    def _collect_metrics(self, registry) -> None:
+        labels = {"flow_id": self.flow_id, "transport": "udp"}
+        registry.counter("udp_packets_sent", **labels).set(self.packets_sent)
+        registry.counter("udp_bytes_sent", **labels).set(self.bytes_sent)
+        registry.gauge("udp_rate_bps", **labels).set(self.rate_bps)
 
     def stop(self) -> None:
         self._stopped = True

@@ -6,12 +6,11 @@ from repro.core.aq import AugmentedQueue
 from repro.core.feedback import (
     FeedbackPolicy,
     delay_policy,
-    drop_policy,
     ecn_policy,
     policy_for_cc,
 )
 from repro.errors import ConfigurationError
-from repro.net.packet import make_data, make_udp
+from repro.net.packet import make_data
 
 GBPS = 1e9
 

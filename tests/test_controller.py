@@ -4,8 +4,6 @@ switch pipeline integration (Section 4.2)."""
 import pytest
 
 from repro.core.controller import AqController, AqRequest
-from repro.core.feedback import ecn_policy
-from repro.core.pipeline import AqPipeline
 from repro.errors import AdmissionError, ConfigurationError
 from repro.net.packet import make_udp
 from repro.topology.dumbbell import Dumbbell, DumbbellConfig

@@ -5,7 +5,6 @@ stream, so two runs of the same scenario must agree bit-for-bit — the
 property that makes every number in EXPERIMENTS.md reproducible.
 """
 
-import pytest
 
 from repro.harness.scenarios import run_cc_pair, run_two_entity_fairness
 from repro.sim.rng import RngRegistry

@@ -9,7 +9,6 @@ from repro.net.hypervisor import Hypervisor, deploy_vm_profiles
 from repro.net.packet import make_udp
 from repro.stats.meters import ThroughputMeter
 from repro.topology.star import Star, StarConfig
-from repro.transport.tcp import TcpConnection
 from repro.transport.udp import UdpFlow
 from repro.workloads.incast import IncastApplication
 from repro.units import gbps

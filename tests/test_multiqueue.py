@@ -5,12 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.net.packet import make_udp
-from repro.queues.multiqueue import (
-    MultiQueuePort,
-    ROUND_ROBIN,
-    STRICT_PRIORITY,
-    hash_on_entity,
-)
+from repro.queues.multiqueue import MultiQueuePort, STRICT_PRIORITY
 from repro.topology.dumbbell import Dumbbell, DumbbellConfig
 from repro.transport.udp import UdpFlow
 from repro.units import gbps
@@ -137,8 +132,8 @@ class TestQueueShortageArgument:
                          rate_bps=gbps(0.4), aq_ingress_id=1)
         protected = UdpFlow(dumbbell.network, "h-l1", "h-r1",
                             rate_bps=gbps(0.4), aq_ingress_id=2)
-        blaster = UdpFlow(dumbbell.network, "h-l2", "h-r2",
-                          rate_bps=gbps(1.0), aq_ingress_id=3)
+        UdpFlow(dumbbell.network, "h-l2", "h-r2",
+                rate_bps=gbps(1.0), aq_ingress_id=3)
         dumbbell.network.run(until=0.05)
         victim_rate = victim.sink.delivered_bytes * 8 / 0.05
         protected_rate = protected.sink.delivered_bytes * 8 / 0.05

@@ -8,7 +8,7 @@ from repro.net.link import Link, Transmitter
 from repro.net.packet import make_udp
 from repro.queues.fifo import PhysicalFifoQueue
 from repro.sim.engine import Simulator
-from repro.topology.base import Network, QueueConfig
+from repro.topology.base import Network
 from repro.topology.dumbbell import Dumbbell, DumbbellConfig
 from repro.topology.star import Star, StarConfig
 from repro.units import gbps, us
@@ -45,8 +45,6 @@ class TestLinkAndTransmitter:
         sim, tx, collector = self._make(rate=gbps(1), delay=0.0)
         for _ in range(3):
             tx.offer(make_udp("a", "b", 1, 1250))
-        times = []
-        link_handler = collector
         sim.run()
         # Each 1250B packet takes 10us to serialize; deliveries at 10/20/30us.
         assert len(collector.packets) == 3

@@ -8,11 +8,9 @@ from repro.queues.perflow import (
     PER_QUEUE_STATE_BYTES,
     PerFlowQueue,
     entity_key,
-    flow_key,
     state_bytes_per_entity,
 )
 from repro.topology.dumbbell import Dumbbell, DumbbellConfig
-from repro.topology.base import QueueConfig
 from repro.transport.udp import UdpFlow
 from repro.units import gbps
 
@@ -120,7 +118,6 @@ class TestStateScaling:
 
 class TestInNetworkBehaviour:
     def test_pfq_bottleneck_shares_fairly_between_udp_entities(self):
-        config = QueueConfig()
         dumbbell = Dumbbell(
             DumbbellConfig(num_left=2, num_right=2, bottleneck_rate_bps=gbps(1))
         )

@@ -59,6 +59,46 @@ class TestThroughputMeter:
         with pytest.raises(ConfigurationError):
             ThroughputMeter(Simulator(), interval=0.0)
 
+    def test_stop_flushes_final_partial_window(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim, interval=0.01)
+        # One full window, then 12500 bytes across a 5 ms tail.
+        sim.schedule(0.002, meter.add, 12_500)
+        sim.schedule(0.014, meter.add, 12_500)
+        sim.run(until=0.015)
+        meter.stop()
+        assert len(meter.samples) == 2
+        end, rate = meter.samples[-1]
+        assert end == pytest.approx(0.015)
+        assert rate == pytest.approx(12_500 * 8 / 0.005)  # 20 Mbps tail
+
+    def test_add_records_explicit_delivery_time(self):
+        # on_deliver hooks pass (nbytes, now); stop() must honour a
+        # delivery time ahead of the last processed event.
+        sim = Simulator()
+        meter = ThroughputMeter(sim, interval=1.0)
+        meter.add(1000, 0.5)
+        meter.stop()
+        assert meter.samples == [(0.5, pytest.approx(1000 * 8 / 0.5))]
+
+    def test_stop_discards_sub_percent_tail(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim, interval=0.01)
+        sim.schedule(0.01 + 1e-6, meter.add, 1000)
+        sim.run(until=0.01 + 2e-6)
+        meter.stop()
+        # The 1-2 us tail would read as gigabits; it must be dropped.
+        assert len(meter.samples) == 1
+
+    def test_stop_is_idempotent(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim, interval=0.01)
+        sim.schedule(0.002, meter.add, 1000)
+        sim.run(until=0.005)
+        meter.stop()
+        meter.stop()
+        assert len(meter.samples) == 1
+
 
 class TestPercentile:
     def test_median(self):
@@ -74,6 +114,18 @@ class TestPercentile:
 
     def test_single_value(self):
         assert percentile([7.5], 95) == 7.5
+        assert percentile([7.5], 0) == 7.5
+        assert percentile([7.5], 100) == 7.5
+
+    def test_exact_rank_no_interpolation(self):
+        # pct landing exactly on an index must return that element.
+        assert percentile([1, 2, 3, 4, 5], 25) == 2
+
+    def test_result_clamped_to_data_range(self):
+        # Float round-off in rank arithmetic must never escape [min, max].
+        values = [0.1] * 3 + [0.3]
+        for pct in (0, 33.333333, 66.666666, 99.999999, 100):
+            assert 0.1 <= percentile(values, pct) <= 0.3
 
     def test_invalid_inputs(self):
         with pytest.raises(ConfigurationError):

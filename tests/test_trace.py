@@ -8,7 +8,6 @@ from repro.core.controller import AqRequest
 from repro.core.feedback import FeedbackPolicy, drop_policy, ecn_policy
 from repro.cc.registry import make_cc
 from repro.errors import ConfigurationError
-from repro.net.packet import make_udp
 from repro.stats.trace import PacketTrace
 from repro.topology.dumbbell import Dumbbell, DumbbellConfig
 from repro.transport.tcp import TcpConnection
