@@ -1,0 +1,84 @@
+"""Engine hot-path benchmarks: tombstone compaction, the fire-and-forget
+event free list, and the idle-link combined serialization event.
+
+Each case asserts that its mechanism actually *engages* (compactions
+happen, events are recycled, the uncontended link pays one event per
+packet) — a refactor that silently disables a fast path fails here rather
+than showing up as an unexplained slowdown. The measured numbers for the
+whole group are written to ``BENCH_engine.json`` at the repo root, which
+``repro run-all --baseline`` and CI use as the wall-clock reference (see
+docs/PERFORMANCE.md for how to read it).
+"""
+
+import json
+from pathlib import Path
+
+from repro.harness.hotpath import (
+    ENGINE_BENCHES,
+    bench_backlogged_link,
+    bench_fire_chain,
+    bench_idle_link,
+    bench_timer_churn,
+    engine_bench_payload,
+)
+from repro.harness.report import print_experiment, render_table
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+_results = {}
+
+
+def _record(name, result):
+    _results[name] = result
+    return result
+
+
+def test_engine_timer_churn(once):
+    result = _record("timer_churn", once(bench_timer_churn))
+    # 90% of a 200k-event calendar cancelled: compaction must kick in,
+    # and the run must only process the surviving 10%.
+    assert result["compactions"] >= 1
+    assert result["events_processed"] == round(result["n_events"] * 0.1)
+    # Compaction keeps tombstones below live events, so the calendar holds
+    # at most 2x the survivors when the run starts.
+    assert result["calendar_after_cancel"] <= 2 * result["events_processed"]
+
+
+def test_engine_fire_chain(once):
+    result = _record("fire_chain", once(bench_fire_chain))
+    assert result["events_processed"] == result["n_events"]
+    # The whole chain must be served by pooled Events, not fresh allocations.
+    assert result["free_list_size"] <= 4
+
+
+def test_engine_idle_link(once):
+    result = _record("idle_link", once(bench_idle_link))
+    # The uncontended link folds finish+propagation into ONE event/packet.
+    assert result["events_per_packet"] == 1.0
+
+
+def test_engine_backlogged_link(once):
+    result = _record("backlogged_link", once(bench_backlogged_link))
+    assert result["delivered"] == result["n_packets"]
+    # The classic two-events-per-packet path (plus the offer events driving
+    # the benchmark) must still be exact under backlog.
+    assert 2.0 <= result["events_per_packet"] <= 3.5
+
+
+def test_engine_write_baseline(once):
+    """Runs last (file order): persist the group's measurements."""
+    missing = set(ENGINE_BENCHES) - set(_results)
+    assert not missing, f"benches did not run before the writer: {missing}"
+    once(lambda: None)  # keep this test selected under --benchmark-only
+    BENCH_PATH.write_text(
+        json.dumps(engine_bench_payload(_results), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    rows = [
+        [name, f"{r.get('events_per_sec', r.get('packets_per_sec', 0)):,.0f}/s"]
+        for name, r in sorted(_results.items())
+    ]
+    print_experiment(
+        "Engine hot-path benches (full numbers in BENCH_engine.json)",
+        render_table(["bench", "throughput"], rows),
+    )

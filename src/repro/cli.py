@@ -278,6 +278,104 @@ def cmd_share(args) -> int:
     return 0
 
 
+def cmd_run_all(args) -> int:
+    """Fan the registered experiment jobs out over worker processes."""
+    from .harness.jobs import default_jobs, engine_results, filter_jobs
+    from .harness.runner import (
+        compare_to_baseline,
+        load_baseline,
+        results_digest,
+        run_jobs,
+        write_results_jsonl,
+    )
+
+    specs = filter_jobs(default_jobs(), args.filters)
+    if args.timeout is not None:
+        specs = [
+            type(spec)(
+                name=spec.name, target=spec.target, kwargs=spec.kwargs,
+                tags=spec.tags, timeout_s=args.timeout,
+            )
+            for spec in specs
+        ]
+    if not specs:
+        print("no jobs match the given --filter patterns", file=sys.stderr)
+        return 1
+    if args.list:
+        print(render_table(
+            ["job", "target"],
+            [[spec.name, spec.target.rsplit(":", 1)[1]] for spec in specs],
+        ))
+        return 0
+
+    total = len(specs)
+    done = [0]
+
+    def progress(result) -> None:
+        done[0] += 1
+        marker = "ok" if result.ok else result.status.upper()
+        print(f"[{done[0]:>{len(str(total))}}/{total}] {result.name:<32} "
+              f"{marker:<7} {result.wall_s:6.2f}s", flush=True)
+
+    import time as _time
+
+    t0 = _time.perf_counter()
+    results = run_jobs(
+        specs, jobs=args.jobs, profile=args.worker_profile, on_result=progress
+    )
+    sweep_wall = _time.perf_counter() - t0
+
+    failures = [r for r in results if not r.ok]
+    print()
+    print(render_table(
+        ["job", "status", "wall", "attempts"],
+        [[r.name, r.status, f"{r.wall_s:.2f}s", str(r.attempts)] for r in results],
+    ))
+    print(f"\n{total - len(failures)}/{total} ok in {sweep_wall:.1f}s "
+          f"(--jobs {args.jobs}); digest {results_digest(results)[:16]}")
+
+    if args.out:
+        write_results_jsonl(results, args.out)
+        print(f"results -> {args.out}")
+
+    engine = engine_results(results)
+    if engine:
+        from .harness.hotpath import engine_bench_payload
+
+        with open(args.bench_out, "w", encoding="utf-8") as fh:
+            json.dump(engine_bench_payload(engine), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"engine benches -> {args.bench_out}")
+
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
+            return 1
+        regressions = [
+            delta for delta in compare_to_baseline(results, baseline)
+            if delta.ratio > 1.25 and delta.wall_s - delta.baseline_s > 0.5
+        ]
+        if regressions:
+            print("\nwall-clock regressions vs baseline (>25% and >0.5s slower):")
+            print(render_table(
+                ["job", "baseline", "now", "ratio"],
+                [[d.name, f"{d.baseline_s:.2f}s", f"{d.wall_s:.2f}s",
+                  f"{d.ratio:.2f}x"] for d in regressions],
+            ))
+            return 1
+        print("no wall-clock regressions vs baseline")
+
+    if failures:
+        for failure in failures:
+            print(f"\n--- {failure.name} ({failure.status}) ---", file=sys.stderr)
+            if failure.error:
+                print(failure.error, file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_telemetry_summarize(args) -> int:
     """Round-trip check + human summary of a recorded telemetry run."""
     from .obs.tracebus import read_jsonl
@@ -403,6 +501,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="one entity per CC name (udp allowed)")
     p.add_argument("--flows", type=int, default=4)
     p.set_defaults(fn=cmd_share)
+
+    p = sub.add_parser(
+        "run-all",
+        help="run registered experiment jobs across worker processes",
+        description="Fan the registered experiment jobs (the benchmark "
+                    "suite's grids plus the engine hot-path benches) out "
+                    "over isolated worker processes. Results are "
+                    "deterministic at any parallelism; see "
+                    "docs/PERFORMANCE.md.",
+    )
+    p.add_argument("--jobs", type=int, default=1,
+                   help="number of worker processes (default 1)")
+    p.add_argument("--filter", action="append", dest="filters", metavar="SUBSTR",
+                   help="run only jobs whose name contains SUBSTR "
+                        "(repeatable; any match selects)")
+    p.add_argument("--out", metavar="RESULTS.JSONL", default=None,
+                   help="write one JSON result line per job")
+    p.add_argument("--baseline", metavar="BASELINE", default=None,
+                   help="previous results JSONL (or {'jobs': {name: secs}} "
+                        "JSON); exit 1 on wall-clock regressions")
+    p.add_argument("--bench-out", metavar="BENCH_ENGINE.JSON",
+                   default="BENCH_engine.json",
+                   help="where to write engine bench measurements when "
+                        "engine/* jobs ran (default BENCH_engine.json)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="override every job's timeout (seconds)")
+    p.add_argument("--profile", action="store_true", dest="worker_profile",
+                   help="activate a per-worker sim profiler and keep its "
+                        "snapshot in each job's result")
+    p.add_argument("--list", action="store_true",
+                   help="list matching jobs without running them")
+    p.set_defaults(fn=cmd_run_all)
 
     p = sub.add_parser("telemetry", help="telemetry post-processing")
     tsub = p.add_subparsers(dest="telemetry_command", required=True)

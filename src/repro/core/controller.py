@@ -130,7 +130,19 @@ class _ShareGroup:
 
 
 class AqController:
-    """Cloud-operator control plane managing AQ grants and deployments."""
+    """Cloud-operator control plane managing AQ grants and deployments.
+
+    Typical use::
+
+        controller = AqController(network)
+        controller.register_resource("bottleneck", gbps(10))
+        grant = controller.request(AqRequest(
+            entity="tenantA", switch="s0", position="ingress",
+            weight=1.0, share_group="bottleneck",
+            policy=drop_policy(), limit_bytes=150_000,
+        ))
+        # tag packets with grant.aq_id; read grant.aq.stats afterwards
+    """
 
     def __init__(self, network) -> None:
         self.network = network

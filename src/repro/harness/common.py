@@ -109,7 +109,11 @@ def telemetry_from_env() -> "contextlib.AbstractContextManager[Optional[Telemetr
     benchmarks use so ``REPRO_TELEMETRY=out.jsonl pytest benchmarks/...``
     instruments a run without touching benchmark code. Recognized:
     ``REPRO_TELEMETRY`` (JSONL path), ``REPRO_PROFILE`` (any non-empty
-    value attaches the profiler)."""
+    value attaches the profiler). Example::
+
+        REPRO_PROFILE=1 python -m pytest benchmarks/bench_fig09_udp_tcp.py \\
+            --benchmark-only   # hotspots print via the attached profiler
+    """
     return telemetry_session(
         jsonl_path=os.environ.get("REPRO_TELEMETRY") or None,
         profile=bool(os.environ.get("REPRO_PROFILE")),

@@ -1,0 +1,195 @@
+"""Engine hot-path micro-benchmarks.
+
+Each function exercises one of the simulator's fast-path mechanisms in
+isolation and returns a JSON-safe dict of measurements, so the same code
+backs three consumers:
+
+* ``benchmarks/bench_engine_hotpath.py`` (pytest-benchmark, asserts the
+  mechanisms actually engage and writes ``BENCH_engine.json``),
+* the parallel runner's ``engine/*`` jobs (``repro run-all --filter engine``),
+* ad-hoc profiling from a REPL.
+
+The measurements and what they gate are documented in
+``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from typing import Dict
+
+from ..net.link import Link, Transmitter
+from ..net.packet import make_udp
+from ..queues.fifo import PhysicalFifoQueue
+from ..sim.engine import Simulator
+from ..units import transmission_time
+
+
+def _noop() -> None:
+    return None
+
+
+def bench_timer_churn(
+    n_events: int = 200_000, cancel_fraction: float = 0.9
+) -> Dict[str, float]:
+    """Schedule/cancel churn: the TCP-retransmission-timer pattern.
+
+    ``cancel_fraction`` of the calendar is cancelled before the run, the
+    way RTO timers are cancelled when their ACK arrives. Gates the >50%
+    tombstone compaction: without it the run loop pops (and re-sifts) every
+    tombstone; with it the calendar is rebuilt in O(n) once and the run
+    touches only live events.
+    """
+    sim = Simulator()
+    events = [sim.schedule(1e-6 * (i + 1), _noop) for i in range(n_events)]
+    n_cancel = int(n_events * cancel_fraction)
+    t0 = time.perf_counter()
+    for event in events[:n_cancel]:
+        event.cancel()
+    cancel_wall = time.perf_counter() - t0
+    calendar_after_cancel = sim.calendar_size()
+    t0 = time.perf_counter()
+    processed = sim.run()
+    run_wall = time.perf_counter() - t0
+    return {
+        "n_events": float(n_events),
+        "cancel_fraction": cancel_fraction,
+        "cancel_wall_s": cancel_wall,
+        "run_wall_s": run_wall,
+        "events_processed": float(processed),
+        "events_per_sec": processed / run_wall if run_wall > 0 else 0.0,
+        "compactions": float(sim.compactions),
+        "calendar_after_cancel": float(calendar_after_cancel),
+    }
+
+
+def bench_fire_chain(n_events: int = 200_000) -> Dict[str, float]:
+    """Fire-and-forget event throughput: the packet-delivery pattern.
+
+    A single self-rescheduling ``schedule_fire`` chain; after warm-up every
+    event is served from the simulator's free list, so steady state
+    allocates no Event objects. This is the upper bound on raw event
+    throughput (empty callbacks, depth-1 heap).
+    """
+    sim = Simulator()
+    remaining = [n_events]
+
+    def chain() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule_fire(1e-6, chain)
+
+    sim.schedule_fire(1e-6, chain)
+    t0 = time.perf_counter()
+    processed = sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "n_events": float(n_events),
+        "wall_s": wall,
+        "events_processed": float(processed),
+        "events_per_sec": processed / wall if wall > 0 else 0.0,
+        "free_list_size": float(len(sim._free)),
+    }
+
+
+def _make_transmitter(sim: Simulator, rate_bps: float = 10e9):
+    delivered = []
+    link = Link(sim, rate_bps, prop_delay=1e-6, handler=delivered.append)
+    queue = PhysicalFifoQueue(limit_bytes=64 * 1500 * 100)
+    return Transmitter(sim, queue, link), delivered
+
+
+def bench_idle_link(n_packets: int = 50_000, size: int = 1500) -> Dict[str, float]:
+    """Back-to-back packets over an *idle* (uncontended) link.
+
+    Each delivery immediately offers the next packet, so the line is idle
+    at every offer and the transmitter takes the combined
+    serialize+propagate fast path: one simulator event per packet instead
+    of two (finish, then deliver).
+    """
+    sim = Simulator()
+    tx, _ = _make_transmitter(sim)
+    sent = [0]
+
+    def pump(_packet=None) -> None:
+        if sent[0] < n_packets:
+            sent[0] += 1
+            tx.offer(make_udp("a", "b", 1, size))
+
+    tx.link._handler = pump
+    pump()
+    t0 = time.perf_counter()
+    processed = sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "n_packets": float(n_packets),
+        "wall_s": wall,
+        "events_processed": float(processed),
+        "events_per_packet": processed / n_packets,
+        "packets_per_sec": n_packets / wall if wall > 0 else 0.0,
+        "sim_time_s": sim.now,
+    }
+
+
+def bench_backlogged_link(n_packets: int = 20_000, size: int = 1500) -> Dict[str, float]:
+    """Draining a standing backlog: the bottleneck-queue pattern.
+
+    Packets are enqueued faster than the line drains them, so the
+    transmitter stays on the classic two-event path; this is the contrast
+    case for :func:`bench_idle_link` and the floor the fast path must not
+    regress.
+    """
+    sim = Simulator()
+    tx, delivered = _make_transmitter(sim)
+    tx.queue.limit_bytes = (n_packets + 1) * size
+    tx_time = transmission_time(size, tx.link.rate_bps)
+    # Feed two packets per serialization slot for the first half so the
+    # queue stays backlogged, then let it drain.
+    for i in range(n_packets):
+        sim.schedule_fire(
+            i * tx_time / 2,
+            lambda: tx.offer(make_udp("a", "b", 1, size)),
+        )
+    t0 = time.perf_counter()
+    processed = sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "n_packets": float(n_packets),
+        "delivered": float(len(delivered)),
+        "wall_s": wall,
+        "events_processed": float(processed),
+        "events_per_packet": processed / n_packets,
+        "packets_per_sec": n_packets / wall if wall > 0 else 0.0,
+    }
+
+
+#: name -> zero-arg default-scale runner, the set recorded in BENCH_engine.json.
+ENGINE_BENCHES = {
+    "timer_churn": bench_timer_churn,
+    "fire_chain": bench_fire_chain,
+    "idle_link": bench_idle_link,
+    "backlogged_link": bench_backlogged_link,
+}
+
+
+def host_fingerprint() -> Dict[str, object]:
+    """Host facts recorded next to measurements so baselines are comparable."""
+    import os
+
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def engine_bench_payload(results: Dict[str, Dict[str, float]]) -> Dict[str, object]:
+    """The BENCH_engine.json document for a set of named bench results."""
+    return {
+        "schema": "bench-engine/1",
+        "host": host_fingerprint(),
+        "benches": dict(sorted(results.items())),
+    }

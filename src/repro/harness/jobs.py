@@ -1,0 +1,331 @@
+"""The job registry behind ``repro run-all``.
+
+Every paper experiment the benchmark suite runs serially is registered
+here as independent :class:`~repro.harness.runner.JobSpec`\\ s at the same
+scales as ``benchmarks/`` (the scale of record documented in
+``EXPERIMENTS.md``), so the whole evaluation fans out across cores.
+
+Each ``job_*`` function is a spawn-importable wrapper around a scenario:
+JSON-safe kwargs in, JSON-safe dict out. Results are deterministic for a
+given spec — except wall-clock measurements, which wrappers place under
+the ``"timing"`` key that :func:`~repro.harness.runner.results_digest`
+excludes, so ``--jobs 1`` and ``--jobs 8`` sweeps hash identically.
+
+Job names are paths (``fig6/aq/4vms``) so ``--filter fig6`` or
+``--filter /aq/`` select natural slices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..units import gbps
+from .common import EntitySpec
+from .runner import JobSpec
+
+_HERE = __name__  # jobs resolve their targets from this module
+
+
+def _spec(name: str, func: str, timeout_s: float = 600.0, **kwargs) -> JobSpec:
+    tags = (name.split("/", 1)[0],)
+    return JobSpec(
+        name=name,
+        target=f"{_HERE}:{func}",
+        kwargs=kwargs,
+        tags=tags,
+        timeout_s=timeout_s,
+    )
+
+
+def _share_dict(result) -> dict:
+    """JSON view of a ShareResult (meters/env are dropped)."""
+    return {
+        "approach": result.approach,
+        "rates_bps": dict(result.rates_bps),
+        "utilization": result.utilization,
+    }
+
+
+def _wct_dict(result) -> dict:
+    return {
+        "approach": result.approach,
+        "wct_s": dict(result.wct),
+        "completed": dict(result.completed),
+        "total_wct_s": result.total_wct,
+    }
+
+
+# -- job targets (spawn-importable, JSON in / JSON out) ------------------------
+
+
+def job_cc_pair(
+    cc_a: str,
+    flows_a: int,
+    cc_b: str,
+    flows_b: int,
+    approach: str,
+    bottleneck_bps: float,
+    duration: float,
+    warmup: float,
+) -> dict:
+    from .scenarios import run_cc_pair
+
+    result = run_cc_pair(
+        cc_a, flows_a, cc_b, flows_b, approach,
+        bottleneck_bps=bottleneck_bps, duration=duration, warmup=warmup,
+    )
+    out = _share_dict(result)
+    out["ratio"] = result.ratio("A", "B")
+    return out
+
+
+def job_single_entity_wct(
+    num_vms: int, approach: str, volume_bytes: int, bottleneck_bps: float
+) -> dict:
+    from .scenarios import run_single_entity_wct
+
+    wct = run_single_entity_wct(
+        num_vms, approach, volume_bytes,
+        bottleneck_bps=bottleneck_bps, max_sim_time=10.0,
+    )
+    return {"approach": approach, "num_vms": num_vms, "wct_s": wct}
+
+
+def job_two_entity_fairness(
+    num_vms_b: int, approach: str, volume_bytes: int, bottleneck_bps: float
+) -> dict:
+    from .scenarios import run_two_entity_fairness
+
+    result = run_two_entity_fairness(
+        num_vms_b, approach, volume_bytes,
+        bottleneck_bps=bottleneck_bps, max_sim_time=10.0,
+    )
+    out = _wct_dict(result)
+    out["fairness"] = result.fairness()
+    return out
+
+
+def job_flow_count(
+    flows_b: int, weight_b: float, approach: str,
+    bottleneck_bps: float, duration: float, warmup: float,
+) -> dict:
+    from .scenarios import run_longlived_share
+
+    entities = [
+        EntitySpec(name="A", cc="cubic", num_flows=1, weight=1.0),
+        EntitySpec(name="B", cc="cubic", num_flows=flows_b, weight=weight_b),
+    ]
+    result = run_longlived_share(
+        entities, approach,
+        bottleneck_bps=bottleneck_bps, duration=duration, warmup=warmup,
+    )
+    out = _share_dict(result)
+    out["ratio"] = result.ratio("A", "B")
+    return out
+
+
+def job_udp_tcp_timeline(approach: str, bottleneck_bps: float, phase: float) -> dict:
+    from .scenarios import run_udp_tcp_timeline
+
+    result = run_udp_tcp_timeline(approach, bottleneck_bps=bottleneck_bps, phase=phase)
+    return {
+        "approach": approach,
+        "rates_in_window": {
+            window: dict(rates) for window, rates in result.rates_in_window.items()
+        },
+    }
+
+
+def job_cc_pair_wct(
+    cc_a: str, cc_b: str, approach: str, volume_bytes: int, bottleneck_bps: float
+) -> dict:
+    from .scenarios import run_cc_pair_wct
+
+    result = run_cc_pair_wct(
+        cc_a, cc_b, approach, volume_bytes,
+        num_vms=4, bottleneck_bps=bottleneck_bps, max_sim_time=10.0,
+    )
+    out = _wct_dict(result)
+    out["fairness"] = result.fairness()
+    return out
+
+
+def job_vm_profile(
+    approach: str, link_rate_bps: float, profile_rate_bps: float, duration: float
+) -> dict:
+    from .scenarios import run_vm_profile
+
+    result = run_vm_profile(
+        approach,
+        link_rate_bps=link_rate_bps,
+        profile_rate_bps=profile_rate_bps,
+        duration=duration,
+    )
+    return {
+        "approach": result.approach,
+        "outbound_range_bps": list(result.outbound_range_bps),
+        "inbound_range_bps": list(result.inbound_range_bps),
+        "outbound_mean_bps": result.outbound_mean_bps,
+        "inbound_mean_bps": result.inbound_mean_bps,
+    }
+
+
+def job_cc_preservation(
+    cc: str, use_aq: bool, allocated_bps: float, capacity_bps: float
+) -> dict:
+    from .scenarios import run_cc_preservation
+
+    result = run_cc_preservation(
+        cc, use_aq=use_aq, allocated_bps=allocated_bps, capacity_bps=capacity_bps
+    )
+    return {
+        "label": result.label,
+        "throughput_bps": result.throughput_bps,
+        "delay_p95_s": result.delay_p95,
+    }
+
+
+def job_engine_bench(bench: str, **scale) -> dict:
+    """One engine hot-path micro-benchmark; wall-clock fields go under
+    ``"timing"`` so the sweep digest stays parallelism-independent."""
+    from .hotpath import ENGINE_BENCHES
+
+    raw = ENGINE_BENCHES[bench](**scale)
+    out: dict = {"bench": bench, "timing": {}}
+    for key, value in raw.items():
+        if "wall" in key or "per_sec" in key:
+            out["timing"][key] = value
+        else:
+            out[key] = value
+    return out
+
+
+# -- the registry --------------------------------------------------------------
+
+#: Benchmark-suite scales (keep in sync with benchmarks/bench_*.py).
+_BOTTLENECK = gbps(2)
+_FIG1_PAIRS = [
+    ("cubic", "newreno"), ("cubic", "dctcp"), ("newreno", "dctcp"),
+    ("cubic", "swift"), ("dctcp", "swift"), ("newreno", "swift"),
+]
+_VM_COUNTS = (1, 2, 4, 8)
+_APPROACHES = ("pq", "aq", "prl", "drl")
+_FIG8_FLOWS = (1, 4, 16, 64)
+_FIG10_PAIRS = [("cubic", "dctcp"), ("newreno", "dctcp"), ("cubic", "swift")]
+_TABLE2_ROWS = [
+    ("cubic", 5, "cubic", 5), ("cubic", 5, "dctcp", 5),
+    ("newreno", 5, "dctcp", 5), ("illinois", 5, "dctcp", 5),
+    ("cubic", 5, "swift", 5), ("dctcp", 5, "swift", 5),
+    ("dctcp", 10, "newreno", 5), ("dctcp", 10, "swift", 5),
+]
+_TABLE4_CCS = ("cubic", "newreno", "dctcp")
+
+
+def default_jobs() -> List[JobSpec]:
+    """Every registered experiment job, in report order."""
+    specs: List[JobSpec] = []
+
+    for cc_a, cc_b in _FIG1_PAIRS:
+        specs.append(_spec(
+            f"fig1/pq/10{cc_a}+10{cc_b}", "job_cc_pair",
+            cc_a=cc_a, flows_a=10, cc_b=cc_b, flows_b=10, approach="pq",
+            bottleneck_bps=_BOTTLENECK, duration=60e-3, warmup=25e-3,
+        ))
+
+    for approach in _APPROACHES:
+        for num_vms in _VM_COUNTS:
+            specs.append(_spec(
+                f"fig6/{approach}/{num_vms}vms", "job_single_entity_wct",
+                num_vms=num_vms, approach=approach,
+                volume_bytes=8_000_000, bottleneck_bps=_BOTTLENECK,
+            ))
+
+    for approach in _APPROACHES:
+        for num_vms in _VM_COUNTS:
+            specs.append(_spec(
+                f"fig7/{approach}/{num_vms}vms", "job_two_entity_fairness",
+                num_vms_b=num_vms, approach=approach,
+                volume_bytes=8_000_000, bottleneck_bps=_BOTTLENECK,
+            ))
+
+    for flows_b in _FIG8_FLOWS:
+        for approach in ("pq", "aq"):
+            specs.append(_spec(
+                f"fig8/{approach}/{flows_b}flows", "job_flow_count",
+                flows_b=flows_b, weight_b=1.0, approach=approach,
+                bottleneck_bps=_BOTTLENECK, duration=80e-3, warmup=30e-3,
+            ))
+    specs.append(_spec(
+        "fig8/aq-1to2/16flows", "job_flow_count",
+        flows_b=16, weight_b=2.0, approach="aq",
+        bottleneck_bps=_BOTTLENECK, duration=80e-3, warmup=30e-3,
+    ))
+
+    for approach in ("pq", "aq"):
+        specs.append(_spec(
+            f"fig9/{approach}/timeline", "job_udp_tcp_timeline",
+            approach=approach, bottleneck_bps=_BOTTLENECK, phase=40e-3,
+        ))
+
+    for cc_a, cc_b in _FIG10_PAIRS:
+        for approach in _APPROACHES:
+            specs.append(_spec(
+                f"fig10/{approach}/{cc_a}+{cc_b}", "job_cc_pair_wct",
+                cc_a=cc_a, cc_b=cc_b, approach=approach,
+                volume_bytes=6_000_000, bottleneck_bps=_BOTTLENECK,
+            ))
+
+    for cc_a, n_a, cc_b, n_b in _TABLE2_ROWS:
+        for approach in ("pq", "aq"):
+            specs.append(_spec(
+                f"table2/{approach}/{n_a}{cc_a}+{n_b}{cc_b}", "job_cc_pair",
+                cc_a=cc_a, flows_a=n_a, cc_b=cc_b, flows_b=n_b,
+                approach=approach, bottleneck_bps=_BOTTLENECK,
+                duration=70e-3, warmup=25e-3,
+            ))
+
+    for approach in ("pq", "prl", "drl", "aq"):
+        specs.append(_spec(
+            f"table3/{approach}/profile", "job_vm_profile",
+            approach=approach, link_rate_bps=gbps(2.5),
+            profile_rate_bps=gbps(0.5), duration=0.15,
+        ))
+
+    for cc in _TABLE4_CCS:
+        for use_aq in (False, True):
+            specs.append(_spec(
+                f"table4/{'aq' if use_aq else 'pq'}/{cc}", "job_cc_preservation",
+                cc=cc, use_aq=use_aq,
+                allocated_bps=gbps(2.5), capacity_bps=gbps(10),
+            ))
+
+    for bench in ("timer_churn", "fire_chain", "idle_link", "backlogged_link"):
+        specs.append(_spec(f"engine/{bench}", "job_engine_bench", bench=bench))
+
+    return specs
+
+
+def filter_jobs(
+    specs: Sequence[JobSpec], patterns: Optional[Sequence[str]]
+) -> List[JobSpec]:
+    """Keep jobs whose name contains *any* of ``patterns`` (all when empty)."""
+    if not patterns:
+        return list(specs)
+    return [
+        spec for spec in specs
+        if any(pattern in spec.name for pattern in patterns)
+    ]
+
+
+def engine_results(results) -> Dict[str, dict]:
+    """Extract ``engine/*`` bench measurements (timing folded back in) from
+    a sweep's results, keyed by bench name — the BENCH_engine.json payload."""
+    benches: Dict[str, dict] = {}
+    for result in results:
+        if not result.ok or not result.name.startswith("engine/"):
+            continue
+        data = dict(result.result or {})
+        data.update(data.pop("timing", {}))
+        data.pop("bench", None)
+        benches[result.name.split("/", 1)[1]] = data
+    return benches

@@ -115,7 +115,14 @@ def run_longlived_share(
     This is the engine behind Figure 1 (CC pairs under PQ), Table 2 (CC
     pairs under PQ vs AQ), Figure 8 (flow-count battles), and Figure 9
     (UDP vs TCP timelines, with ``enable_reallocation`` and staggered
-    ``start_time``/``stop_time`` in the specs).
+    ``start_time``/``stop_time`` in the specs). Example::
+
+        result = run_longlived_share(
+            [EntitySpec("tcp", cc="cubic", num_flows=4),
+             EntitySpec("udp", cc="udp")],
+            approach="aq", bottleneck_bps=gbps(10),
+        )
+        result.rates_bps   # {"tcp": ~5e9, "udp": ~5e9}
     """
     if warmup >= duration:
         raise ConfigurationError("warmup must be shorter than duration")

@@ -79,11 +79,33 @@ class Link:
         """Deliver a fully-serialized packet after propagation delay."""
         self.stats.delivered_packets += 1
         self.stats.delivered_bytes += packet.size
-        self.sim.schedule(self.prop_delay, self._handler, packet)
+        self.sim.schedule_fire(self.prop_delay, self._handler, packet)
+
+    def deliver_now(self, packet: Packet) -> None:
+        """Hand ``packet`` to the receiver immediately (the propagation
+        delay has already been folded into the caller's event time — the
+        transmitter's idle-line fast path)."""
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += packet.size
+        self._handler(packet)
 
 
 class Transmitter:
-    """Pulls packets from a queue and serializes them onto a link."""
+    """Pulls packets from a queue and serializes them onto a link.
+
+    Two scheduling regimes, chosen per packet at serialization start:
+
+    * **Backlogged** — the queue holds more packets, so a ``_finish``
+      event fires at end-of-serialization to deliver this packet and
+      dequeue the next one (the classic two-events-per-packet path).
+    * **Idle line** — the queue is empty, so serialization completion and
+      propagation are folded into a *single* combined delivery event at
+      ``now + tx + prop``. If another packet is offered mid-serialization,
+      a ``_resume`` event is lazily scheduled at the exact
+      end-of-serialization instant, so back-to-back timing is preserved
+      bit-for-bit while an uncontended link pays one event per packet
+      instead of two.
+    """
 
     def __init__(
         self,
@@ -99,10 +121,15 @@ class Transmitter:
         self.egress_hooks: List[PipelineHook] = list(egress_hooks or [])
         self.name = name
         self._busy = False
+        #: Absolute sim time when the in-flight packet leaves the line.
+        self._tx_end = 0.0
+        #: True when an event (``_finish`` or ``_resume``) will run at
+        #: ``_tx_end`` to pull the next packet off the queue.
+        self._finish_pending = False
 
     @property
     def busy(self) -> bool:
-        return self._busy
+        return self._busy and (self._finish_pending or self.sim.now < self._tx_end)
 
     def add_egress_hook(self, hook: PipelineHook) -> None:
         self.egress_hooks.append(hook)
@@ -113,14 +140,32 @@ class Transmitter:
         Returns ``False`` when the queue discipline dropped the packet.
         """
         accepted = self.queue.enqueue(packet, self.sim.now)
-        if accepted and not self._busy:
-            self._start_next()
+        if accepted:
+            self._pump()
         return accepted
 
     def kick(self) -> None:
         """Restart transmission if idle (used after out-of-band enqueues)."""
-        if not self._busy:
+        self._pump()
+
+    def _pump(self) -> None:
+        """Ensure the queue will drain: start now if the line is idle, or
+        arrange the lazily-deferred dequeue at end-of-serialization."""
+        if self._line_busy():
+            if not self._finish_pending:
+                self._finish_pending = True
+                self.sim.schedule_fire_at(self._tx_end, self._resume)
+        else:
             self._start_next()
+
+    def _line_busy(self) -> bool:
+        if not self._busy:
+            return False
+        if self._finish_pending or self.sim.now < self._tx_end:
+            return True
+        # Fast-path serialization completed with nothing queued behind it.
+        self._busy = False
+        return False
 
     def _start_next(self) -> None:
         now = self.sim.now
@@ -134,9 +179,18 @@ class Transmitter:
             # Hook dropped the packet after dequeue (egress policing); pull
             # the next one immediately.
         self._busy = True
-        tx_time = transmission_time(packet.size, self.link.rate_bps)
-        self.link.stats.busy_time += tx_time
-        self.sim.schedule(tx_time, self._finish, packet)
+        link = self.link
+        tx_time = transmission_time(packet.size, link.rate_bps)
+        link.stats.busy_time += tx_time
+        self._tx_end = now + tx_time
+        if self.queue.is_empty:
+            # Idle-line fast path: one combined event delivers the packet;
+            # a concurrent offer() will schedule the resume if needed.
+            self._finish_pending = False
+            self.sim.schedule_fire(tx_time + link.prop_delay, link.deliver_now, packet)
+        else:
+            self._finish_pending = True
+            self.sim.schedule_fire(tx_time, self._finish, packet)
 
     def _run_egress(self, packet: Packet, now: float) -> bool:
         for hook in self.egress_hooks:
@@ -145,5 +199,11 @@ class Transmitter:
         return True
 
     def _finish(self, packet: Packet) -> None:
+        self._finish_pending = False
         self.link.deliver(packet)
+        self._start_next()
+
+    def _resume(self) -> None:
+        """Deferred end-of-serialization dequeue for the fast path."""
+        self._finish_pending = False
         self._start_next()

@@ -6,9 +6,13 @@ matter for reproducing the paper:
 * **Determinism** — ties in event time are broken by insertion order, so the
   same scenario with the same seeds produces the same packet trace.
 * **Cancellation** — TCP retransmission timers are cancelled far more often
-  than they fire; cancelled events are tombstoned and skipped on pop.
+  than they fire; cancelled events are tombstoned and skipped on pop, and
+  the calendar is compacted in place whenever tombstones outnumber live
+  events (see ``docs/PERFORMANCE.md``).
 * **Speed** — the hot path (schedule/pop) avoids attribute lookups and
-  allocations where practical; events are small ``__slots__`` objects.
+  allocations where practical; events are small ``__slots__`` objects, and
+  fire-and-forget events (:meth:`Simulator.schedule_fire`) are recycled
+  through a free list so steady-state packet forwarding allocates nothing.
 
 The simulator also carries the run's :class:`~repro.obs.Telemetry`: the
 profiler (when attached) swaps the run loop for an instrumented variant,
@@ -29,10 +33,13 @@ class Event:
     """A scheduled callback; returned by :meth:`Simulator.schedule`.
 
     Instances are handles: the only public operations are :meth:`cancel`
-    and inspecting :attr:`time` / :attr:`cancelled`.
+    and inspecting :attr:`time` / :attr:`cancelled`. Events created through
+    :meth:`Simulator.schedule_fire` are *pooled*: the simulator recycles
+    them after they fire, which is safe precisely because no handle to
+    them ever escapes.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "poolable", "_sim")
 
     def __init__(
         self,
@@ -47,6 +54,7 @@ class Event:
         self.fn: Optional[Callable[..., Any]] = fn
         self.args = args
         self.cancelled = False
+        self.poolable = False
         self._sim = sim
 
     def cancel(self) -> None:
@@ -61,7 +69,7 @@ class Event:
             # alive while their tombstones wait in the heap.
             self.fn = None
             self.args = ()
-            self._sim._live -= 1
+            self._sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -88,6 +96,12 @@ class Simulator:
     disabled instance.
     """
 
+    #: Compaction does not kick in below this calendar size: rebuilding a
+    #: tiny heap costs more than skipping its tombstones ever will.
+    COMPACT_MIN_CALENDAR = 64
+    #: Upper bound on pooled Event objects kept for reuse.
+    FREE_LIST_MAX = 4096
+
     def __init__(self, telemetry=None) -> None:
         self._heap: list[Event] = []
         self._now = 0.0
@@ -95,6 +109,8 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._live = 0
+        self._free: list[Event] = []
+        self.compactions = 0
         if telemetry is None:
             from ..obs.telemetry import Telemetry, get_active_telemetry
 
@@ -135,6 +151,36 @@ class Simulator:
         self._live += 1
         return event
 
+    def schedule_fire(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle is returned and the
+        event can never be cancelled, which lets the simulator recycle the
+        Event object through a free list instead of allocating. Use this
+        for hot-path events whose handle would be discarded anyway
+        (packet deliveries, serialization completions)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        self.schedule_fire_at(self._now + delay, fn, *args)
+
+    def schedule_fire_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Absolute-time variant of :meth:`schedule_fire`."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        self._seq += 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = self._seq
+            event.fn = fn
+            event.args = args
+        else:
+            event = Event(time, self._seq, fn, args, self)
+            event.poolable = True
+        heapq.heappush(self._heap, event)
+        self._live += 1
+
     # -- execution ---------------------------------------------------------------
 
     def _prune_cancelled(self) -> None:
@@ -144,20 +190,51 @@ class Simulator:
         while heap and heap[0].cancelled:
             heapq.heappop(heap)
 
+    def _note_cancel(self) -> None:
+        """Bookkeeping for one cancellation; compacts the calendar when
+        tombstones outnumber live events (>50% of a non-trivial heap)."""
+        self._live -= 1
+        heap = self._heap
+        size = len(heap)
+        if size >= self.COMPACT_MIN_CALENDAR and (size - self._live) * 2 > size:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the calendar without its tombstones.
+
+        Mutates the heap list *in place* so the run loop's local alias
+        stays valid, and re-heapifies; pop order is unaffected because
+        ordering is total on ``(time, seq)``."""
+        heap = self._heap
+        heap[:] = [event for event in heap if not event.cancelled]
+        heapq.heapify(heap)
+        self.compactions += 1
+
+    def calendar_size(self) -> int:
+        """Number of heap slots in use, tombstones included (for tests
+        and the hot-path benchmarks; compare with :meth:`pending_events`)."""
+        return len(self._heap)
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Process events until the calendar drains, ``until`` is reached,
         or ``max_events`` have executed.
 
         Returns the number of events processed by this call. The clock is
-        advanced to ``until`` when provided, even if the calendar drained
-        earlier, so periodic samplers observe a consistent end time.
+        advanced to ``until`` when provided and the calendar drained (or
+        only holds later events), so periodic samplers observe a consistent
+        end time — but **not** when the ``max_events`` cap stopped the run
+        early: then the clock stays at the last processed event so the
+        remaining work can resume where it left off.
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
         profiler = self.telemetry.profiler if self.telemetry is not None else None
         heap = self._heap
+        free = self._free
+        free_max = self.FREE_LIST_MAX
         processed = 0
+        hit_cap = False
         try:
             if profiler is None:
                 # Fast path: identical to the pre-telemetry loop.
@@ -175,15 +252,18 @@ class Simulator:
                     event.fn, event.args = None, ()
                     assert fn is not None
                     fn(*args)
+                    if event.poolable and len(free) < free_max:
+                        free.append(event)
                     processed += 1
                     self._events_processed += 1
                     if max_events is not None and processed >= max_events:
+                        hit_cap = True
                         break
             else:
-                processed = self._run_profiled(until, max_events, profiler)
+                processed, hit_cap = self._run_profiled(until, max_events, profiler)
         finally:
             self._running = False
-        if until is not None and self._now < until:
+        if until is not None and not hit_cap and self._now < until:
             self._now = until
         return processed
 
@@ -192,12 +272,16 @@ class Simulator:
         until: Optional[float],
         max_events: Optional[int],
         profiler,
-    ) -> int:
-        """Run-loop variant that times every callback for the profiler."""
+    ) -> "tuple[int, bool]":
+        """Run-loop variant that times every callback for the profiler.
+        Returns ``(processed, hit_cap)``."""
         heap = self._heap
+        free = self._free
+        free_max = self.FREE_LIST_MAX
         perf = _time.perf_counter
         site_name = profiler.site_name
         processed = 0
+        hit_cap = False
         start_sim = self._now
         run_start = perf()
         try:
@@ -219,14 +303,20 @@ class Simulator:
                 t0 = perf()
                 fn(*args)
                 profiler.record_callback(site, perf() - t0)
+                if event.poolable and len(free) < free_max:
+                    free.append(event)
                 processed += 1
                 self._events_processed += 1
                 if max_events is not None and processed >= max_events:
+                    hit_cap = True
                     break
         finally:
-            end_sim = until if until is not None and until > self._now else self._now
+            if hit_cap or until is None or until <= self._now:
+                end_sim = self._now
+            else:
+                end_sim = until
             profiler.note_run(processed, perf() - run_start, end_sim - start_sim)
-        return processed
+        return processed, hit_cap
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the calendar is empty."""

@@ -105,6 +105,28 @@ class TestRunUntil:
             sim.schedule(0.1, lambda: None)
         assert sim.run() == 5
 
+    def test_max_events_does_not_advance_clock_to_until(self):
+        # Regression: run(until=..., max_events=...) used to jump the clock
+        # to `until` even when the cap fired mid-calendar, so the next
+        # run() would refuse to schedule "in the past".
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(0.1 * (i + 1), fired.append, i)
+        processed = sim.run(until=1.0, max_events=4)
+        assert processed == 4
+        assert sim.now == pytest.approx(0.4)
+        # The remaining events are still runnable from where we stopped.
+        sim.run(until=1.0)
+        assert fired == list(range(10))
+        assert sim.now == 1.0
+
+    def test_until_still_advances_clock_when_cap_not_hit(self):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        sim.run(until=2.0, max_events=5)
+        assert sim.now == 2.0
+
 
 class TestCancellation:
     def test_cancelled_event_does_not_fire(self):
@@ -138,6 +160,97 @@ class TestCancellation:
 
     def test_peek_time_empty_calendar(self):
         assert Simulator().peek_time() is None
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_compacts_calendar(self):
+        sim = Simulator()
+        events = [sim.schedule(0.1 * (i + 1), lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        # >50% tombstones on a >=64-slot heap triggers an in-place rebuild;
+        # afterwards tombstones may accumulate again but never outnumber
+        # the live events.
+        assert sim.compactions >= 1
+        assert sim.pending_events() == 50
+        tombstones = sim.calendar_size() - sim.pending_events()
+        assert tombstones <= sim.pending_events()
+
+    def test_small_calendars_are_not_compacted(self):
+        sim = Simulator()
+        events = [sim.schedule(0.1, lambda: None) for i in range(20)]
+        for event in events:
+            event.cancel()
+        assert sim.compactions == 0
+
+    def test_order_preserved_across_compaction(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        cancel = []
+        for i in range(300):
+            event = sim.schedule(0.001 * (i + 1), fired.append, i)
+            (cancel if i % 3 else keep).append((i, event))
+        for _, event in cancel:
+            event.cancel()
+        assert sim.compactions >= 1
+        sim.run()
+        assert fired == [i for i, _ in keep]
+
+    def test_compaction_during_run_is_safe(self):
+        sim = Simulator()
+        fired = []
+        victims = []
+
+        def cancel_most():
+            for event in victims:
+                event.cancel()
+
+        sim.schedule(0.01, cancel_most)
+        for i in range(200):
+            victims.append(sim.schedule(1.0 + 0.01 * i, fired.append, i))
+        survivor = sim.schedule(5.0, fired.append, "end")
+        del survivor
+        sim.run()
+        assert fired == ["end"]
+
+
+class TestScheduleFire:
+    def test_fire_and_forget_executes(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_fire(0.2, fired.append, "b")
+        sim.schedule_fire(0.1, fired.append, "a")
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_events_are_recycled(self):
+        sim = Simulator()
+        count = [0]
+
+        def chain():
+            count[0] += 1
+            if count[0] < 100:
+                sim.schedule_fire(0.01, chain)
+
+        sim.schedule_fire(0.01, chain)
+        sim.run()
+        assert count[0] == 100
+        # The whole chain should have been served by a handful of pooled
+        # Event objects, not 100 fresh allocations.
+        assert len(sim._free) <= 2
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_fire(-0.1, lambda: None)
+
+    def test_interleaves_deterministically_with_schedule(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.1, fired.append, "handle")
+        sim.schedule_fire(0.1, fired.append, "fire")
+        sim.run()
+        assert fired == ["handle", "fire"]
 
 
 class TestPeriodicTask:
