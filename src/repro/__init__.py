@@ -56,14 +56,19 @@ from .harness.common import (
     telemetry_session,
 )
 from .obs import (
+    AuditViolation,
+    FlightIndex,
+    FlightRecorder,
     JsonlSink,
     MetricsRegistry,
     RingBufferSink,
+    RunAuditor,
     SimProfiler,
     SummarySink,
     Telemetry,
     TraceBus,
     TraceEvent,
+    read_flights_jsonl,
     read_jsonl,
 )
 from .harness.scenarios import (
@@ -176,6 +181,11 @@ __all__ = [
     "JsonlSink",
     "SummarySink",
     "read_jsonl",
+    "FlightRecorder",
+    "FlightIndex",
+    "read_flights_jsonl",
+    "RunAuditor",
+    "AuditViolation",
     "telemetry_session",
     "telemetry_from_env",
     # errors

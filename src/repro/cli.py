@@ -23,7 +23,6 @@ from collections import Counter
 from typing import List, Optional
 
 from .core.agap import simulate_discrepancy_control
-from .errors import ConfigurationError
 from .core.resources import memory_series, tofino_usage
 from .harness.common import APPROACHES, EntitySpec, telemetry_session
 from .harness.report import (
@@ -62,6 +61,12 @@ def _add_telemetry(parser: argparse.ArgumentParser) -> None:
                         help="print a metrics-registry summary after the run")
     parser.add_argument("--profile", action="store_true",
                         help="profile the sim loop and print hotspots")
+    parser.add_argument("--flight-record", metavar="FLIGHTS.JSONL", default=None,
+                        help="record per-packet INT flights to a JSONL file "
+                             "(inspect with 'repro telemetry flights')")
+    parser.add_argument("--audit", action="store_true",
+                        help="attach the conservation-law run auditor; "
+                             "exit 1 if any invariant is violated")
 
 
 def metrics_path_for(trace_path: str) -> str:
@@ -321,7 +326,9 @@ def cmd_run_all(args) -> int:
 
     t0 = _time.perf_counter()
     results = run_jobs(
-        specs, jobs=args.jobs, profile=args.worker_profile, on_result=progress
+        specs, jobs=args.jobs, profile=args.worker_profile,
+        audit=args.audit_jobs, flight_dir=args.flight_record_dir,
+        on_result=progress,
     )
     sweep_wall = _time.perf_counter() - t0
 
@@ -337,6 +344,24 @@ def cmd_run_all(args) -> int:
     if args.out:
         write_results_jsonl(results, args.out)
         print(f"results -> {args.out}")
+
+    audit_failed = False
+    if args.audit_jobs:
+        audited = [r for r in results if r.audit is not None]
+        total_events = sum(r.audit["events_seen"] for r in audited)
+        total_violations = sum(r.audit["violation_count"] for r in audited)
+        print(f"audit: {len(audited)} jobs, {total_events:,} events checked, "
+              f"{total_violations} violation(s)")
+        if args.flight_record_dir:
+            print(f"flight records -> {args.flight_record_dir}/")
+        for r in audited:
+            if r.audit["violation_count"]:
+                audit_failed = True
+                print(f"\n--- {r.name}: {r.audit['violation_count']} "
+                      f"audit violation(s) ---", file=sys.stderr)
+                for v in r.audit["violations"][:5]:
+                    print(f"  {v['invariant']} @ t={v['time']:.6f}s "
+                          f"{v['subject']}: {v['message']}", file=sys.stderr)
 
     engine = engine_results(results)
     if engine:
@@ -373,18 +398,30 @@ def cmd_run_all(args) -> int:
             if failure.error:
                 print(failure.error, file=sys.stderr)
         return 1
-    return 0
+    return 1 if audit_failed else 0
 
 
 def cmd_telemetry_summarize(args) -> int:
-    """Round-trip check + human summary of a recorded telemetry run."""
+    """Human summary of a recorded telemetry run.
+
+    Tolerant of damaged input: truncated/corrupt JSONL lines are skipped
+    with a warning, and an empty trace is a valid (zero-event) run. Only
+    an unreadable file is an error.
+    """
     from .obs.tracebus import read_jsonl
 
     counts: Counter = Counter()
     first_time = None
     last_time = None
+    skipped = [0]
+
+    def warn_skip(lineno: int, problem: str) -> None:
+        skipped[0] += 1
+        print(f"warning: {args.trace}:{lineno}: skipping bad line: {problem}",
+              file=sys.stderr)
+
     try:
-        for event in read_jsonl(args.trace):
+        for event in read_jsonl(args.trace, strict=False, on_skip=warn_skip):
             counts[event.type] += 1
             if first_time is None:
                 first_time = event.time
@@ -392,15 +429,14 @@ def cmd_telemetry_summarize(args) -> int:
     except OSError as exc:
         print(f"cannot read trace: {exc}", file=sys.stderr)
         return 1
-    except ConfigurationError as exc:
-        print(str(exc), file=sys.stderr)
-        return 1
     total = sum(counts.values())
     rows = [[etype, str(n)] for etype, n in counts.most_common()]
     rows.append(["total", str(total)])
     print(render_table(["event type", "count"], rows))
     if first_time is not None:
         print(f"trace span: {first_time:.6f}s .. {last_time:.6f}s")
+    if skipped[0]:
+        print(f"({skipped[0]} bad line(s) skipped)", file=sys.stderr)
 
     metrics_path = args.metrics or metrics_path_for(args.trace)
     try:
@@ -413,6 +449,59 @@ def cmd_telemetry_summarize(args) -> int:
         return 0
     print()
     print(render_metrics_summary(snapshot, max_rows=args.max_rows))
+    return 0
+
+
+def cmd_telemetry_flights(args) -> int:
+    """Reconstruct paths, hop latencies, and drop attribution from a
+    flight-record JSONL (written by ``--flight-record`` or an audited
+    ``run-all`` sweep)."""
+    from .obs.flightrec import FlightIndex, read_flights_jsonl
+
+    index = FlightIndex()
+    try:
+        for flight in read_flights_jsonl(args.flights):
+            if args.flow is not None and flight.flow_id != args.flow:
+                continue
+            index.handle_flight(flight)
+    except OSError as exc:
+        print(f"cannot read flights: {exc}", file=sys.stderr)
+        return 1
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"invalid flight record in {args.flights}: {exc}", file=sys.stderr)
+        return 1
+    print(f"{index.total} flights: {index.delivered} delivered, "
+          f"{index.dropped} dropped")
+
+    flow_rows = []
+    for flow_id in sorted(index.paths_by_flow)[: args.max_rows]:
+        path = index.path_for(flow_id)
+        mean = index.mean_latency(flow_id)
+        flow_rows.append([
+            str(flow_id),
+            " -> ".join(path) if path else "-",
+            f"{mean * 1e6:.1f}us" if mean is not None else "-",
+        ])
+    if flow_rows:
+        print()
+        print(render_table(["flow", "path (most common)", "mean latency"],
+                           flow_rows))
+
+    hops = index.hop_latency()
+    if hops:
+        print()
+        print(render_table(
+            ["queue", "visits", "mean wait"],
+            [[node, str(d["visits"]), f"{d['mean_wait_s'] * 1e6:.1f}us"]
+             for node, d in list(hops.items())[: args.max_rows]],
+        ))
+
+    attributions = index.drop_attributions(limit=args.max_drops)
+    if attributions:
+        print(f"\ndrop attribution (showing {len(attributions)} of "
+              f"{index.dropped}):")
+        for line in attributions:
+            print(f"  {line}")
     return 0
 
 
@@ -530,6 +619,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true", dest="worker_profile",
                    help="activate a per-worker sim profiler and keep its "
                         "snapshot in each job's result")
+    p.add_argument("--audit", action="store_true", dest="audit_jobs",
+                   help="attach a conservation-law auditor in every worker; "
+                        "each job's verdict lands in the results JSONL and "
+                        "any violation fails the sweep")
+    p.add_argument("--flight-record-dir", metavar="DIR", default=None,
+                   help="record each job's INT flights to "
+                        "DIR/<job>.flights.jsonl")
     p.add_argument("--list", action="store_true",
                    help="list matching jobs without running them")
     p.set_defaults(fn=cmd_run_all)
@@ -543,6 +639,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="metrics snapshot path (default: derived from trace)")
     ps.add_argument("--max-rows", type=int, default=40)
     ps.set_defaults(fn=cmd_telemetry_summarize)
+    pf = tsub.add_parser("flights",
+                         help="reconstruct paths/latency/drop attribution "
+                              "from a flight-record JSONL")
+    pf.add_argument("flights", help="JSONL written by --flight-record or "
+                                    "run-all --flight-record-dir")
+    pf.add_argument("--flow", type=int, default=None,
+                    help="restrict to one flow id")
+    pf.add_argument("--max-rows", type=int, default=40)
+    pf.add_argument("--max-drops", type=int, default=10,
+                    help="attribution lines to print (default 10)")
+    pf.set_defaults(fn=cmd_telemetry_flights)
 
     return parser
 
@@ -554,11 +661,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_path = getattr(args, "telemetry", None)
     metrics_summary = getattr(args, "metrics_summary", False)
     profile = getattr(args, "profile", False)
-    if trace_path is None and not metrics_summary and not profile:
+    flight_path = getattr(args, "flight_record", None)
+    audit = getattr(args, "audit", False)
+    if (
+        trace_path is None and not metrics_summary and not profile
+        and flight_path is None and not audit
+    ):
         return args.fn(args)
 
     try:
-        session = telemetry_session(jsonl_path=trace_path, profile=profile)
+        session = telemetry_session(
+            jsonl_path=trace_path, profile=profile,
+            flight_path=flight_path, audit=audit,
+        )
         tele = session.__enter__()
     except OSError as exc:
         parser.error(f"cannot open telemetry output {trace_path!r}: {exc}")
@@ -577,6 +692,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_metrics_summary(snapshot))
     if profile and tele.profiler is not None:
         print(tele.profiler.render())
+    if flight_path is not None and tele.flightrec is not None:
+        print(f"flight records: {tele.flightrec.flights_completed} flights "
+              f"-> {flight_path}")
+    if audit and tele.auditor is not None:
+        violations = tele.auditor.finish()
+        print(f"audit: {tele.auditor.events_seen:,} events checked, "
+              f"{len(violations)} violation(s)")
+        if violations:
+            for violation in violations[:10]:
+                print(f"  {violation.invariant} @ t={violation.time:.6f}s "
+                      f"{violation.subject}: {violation.message}",
+                      file=sys.stderr)
+            return max(status, 1)
     return status
 
 

@@ -225,8 +225,57 @@ def simulate_discrepancy_control(
 
 
 # --------------------------------------------------------------------------
-# Reference evaluator used by property-based tests
+# Reference evaluators used by property-based tests and the run auditor
 # --------------------------------------------------------------------------
+
+
+class AGapReplay:
+    """Re-derives the Theorem 3.2 recurrence from a trace event stream.
+
+    The conservation-law auditor (:mod:`repro.obs.audit`) feeds this the
+    same observations :class:`AGapTracker` consumed live — arrivals
+    (``agap_update`` events), limit-drop undos (``rate_limit`` events),
+    and rate changes (``aq_rate`` events) — and compares the replayed gap
+    against the value the data plane reported. The arithmetic mirrors the
+    tracker expression-for-expression so a clean run replays exactly.
+    """
+
+    __slots__ = ("rate_bps", "gap", "last_time")
+
+    def __init__(self) -> None:
+        self.rate_bps: float = 0.0
+        self.gap = 0.0
+        self.last_time: float = 0.0
+
+    def on_rate(self, time: float, rate_bps: float) -> None:
+        """Apply a rate change: drain at the old rate first (set_rate)."""
+        if self.rate_bps > 0.0:
+            self.gap = self._drained(time)
+        self.last_time = time
+        self.rate_bps = rate_bps
+
+    def expected_on_arrival(self, time: float, size_bytes: float) -> float:
+        """The gap an uncorrupted tracker would report for this arrival."""
+        return self._drained(time) + size_bytes
+
+    def commit_arrival(self, time: float, gap: float) -> None:
+        """Adopt the data plane's reported gap as ground truth, so one
+        discrepancy yields one violation instead of a cascade."""
+        self.gap = gap
+        self.last_time = time
+
+    def on_undo(self, size_bytes: float) -> None:
+        """Mirror ``undo_arrival``: a limit-dropped packet is backed out."""
+        self.gap -= size_bytes
+        if self.gap < 0.0:
+            self.gap = 0.0
+
+    def _drained(self, time: float) -> float:
+        delta = time - self.last_time
+        if delta < 0:
+            return self.gap
+        drained = self.gap - delta * (self.rate_bps / 8.0)
+        return drained if drained > 0.0 else 0.0
 
 
 def agap_reference(

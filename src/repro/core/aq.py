@@ -13,7 +13,7 @@ from typing import Optional
 from ..cc.base import DELAY_BASED, ECN_BASED
 from ..errors import ConfigurationError
 from ..net.packet import Packet
-from ..obs.events import EV_AGAP_UPDATE, EV_ECN_MARK, EV_RATE_LIMIT
+from ..obs.events import EV_AGAP_UPDATE, EV_AQ_RATE, EV_ECN_MARK, EV_RATE_LIMIT
 from .agap import AGapTracker
 from .feedback import FeedbackPolicy, drop_policy
 
@@ -91,7 +91,14 @@ class AugmentedQueue:
         self.stats = AqStats()
         self.record_delays = record_delays
         self.entity = entity
+        #: Deployment position ("ingress"/"egress"), stamped by
+        #: :meth:`repro.core.pipeline.AqPipeline.deploy` for drop attribution.
+        self.position = ""
         self._tele = telemetry if telemetry is not None and telemetry.enabled else None
+        self._flight = self._tele.flightrec if self._tele is not None else None
+        #: Last rate announced on the trace (``aq_rate`` events let the run
+        #: auditor replay the Theorem 3.2 recurrence with the right R).
+        self._traced_rate: Optional[float] = None
         if self._tele is not None:
             self._tele.metrics.add_collector(self._collect_metrics)
 
@@ -120,6 +127,10 @@ class AugmentedQueue:
     def set_rate(self, now: float, rate_bps: float) -> None:
         """Weighted-mode rate update from the controller."""
         self.tracker.set_rate(now, rate_bps)
+        tele = self._tele
+        if tele is not None and tele.enabled:
+            tele.trace.emit_fields(EV_AQ_RATE, now, aq_id=self.aq_id, value=rate_bps)
+            self._traced_rate = rate_bps
 
     @property
     def gap_bytes(self) -> float:
@@ -146,6 +157,13 @@ class AugmentedQueue:
         tele = self._tele
         trace = tele.trace if tele is not None and tele.enabled else None
         if trace is not None:
+            if self._traced_rate != self.tracker.rate_bps:
+                # Announce R lazily so the auditor's Theorem 3.2 replay
+                # always knows the drain rate in force for the next interval.
+                self._traced_rate = self.tracker.rate_bps
+                trace.emit_fields(
+                    EV_AQ_RATE, now, aq_id=self.aq_id, value=self._traced_rate
+                )
             trace.emit_fields(
                 EV_AGAP_UPDATE, now, aq_id=self.aq_id,
                 flow_id=packet.flow_id, size=packet.size, value=gap,
@@ -158,6 +176,13 @@ class AugmentedQueue:
                 trace.emit_fields(
                     EV_RATE_LIMIT, now, aq_id=self.aq_id,
                     flow_id=packet.flow_id, size=packet.size, value=gap,
+                    reason="rate_limit",
+                )
+            fr = self._flight
+            if fr is not None and packet.flight is not None:
+                fr.aq_hop(
+                    packet, self.entity, now, self.aq_id, self.position,
+                    agap=gap, limit=self.limit_bytes, ecn=False, dropped=True,
                 )
             return False
         if self.record_delays:

@@ -42,6 +42,7 @@ class AqPipeline:
                 f"AQ {aq.aq_id} already deployed at {position} of {self.switch.name}"
             )
         table[aq.aq_id] = aq
+        aq.position = position  # stamped for flight-record drop attribution
 
     def withdraw(self, aq_id: int, position: str) -> None:
         self._table(position).pop(aq_id, None)

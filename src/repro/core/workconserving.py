@@ -25,6 +25,7 @@ from typing import Optional
 from ..errors import ConfigurationError
 from ..net.packet import NO_AQ, Packet
 from ..net.switch import Switch
+from ..obs.events import EV_GATE
 from .pipeline import AqPipeline
 
 
@@ -55,7 +56,9 @@ class WorkConservingGate:
         self.bypassed_packets = 0
         self.enforced_packets = 0
         self._gate_name = f"{switch.name}.{watched_port}.wc-gate"
+        self._last_decision: Optional[str] = None
         tele = switch.sim.telemetry
+        self._tele = tele if tele is not None and tele.enabled else None
         if tele is not None and tele.enabled:
             tele.metrics.add_collector(self._collect_metrics)
         # Replace the pipeline's ingress hook with the gated version.
@@ -80,11 +83,28 @@ class WorkConservingGate:
     def _gated_ingress(self, packet: Packet, now: float) -> bool:
         if packet.aq_ingress_id == NO_AQ:
             return True
-        if self.queue.bytes_queued <= self.bypass_threshold_bytes:
+        backlog = self.queue.bytes_queued
+        if backlog <= self.bypass_threshold_bytes:
             # Fabric is (effectively) idle: bypass AQ entirely, exactly as
             # Section 6 describes. The A-Gap keeps draining in the
             # background, so enforcement resumes from a clean slate.
             self.bypassed_packets += 1
+            if self._tele is not None and self._last_decision != "bypass":
+                self._emit_decision("bypass", now, backlog)
             return True
         self.enforced_packets += 1
+        if self._tele is not None and self._last_decision != "enforce":
+            self._emit_decision("enforce", now, backlog)
         return self.pipeline._ingress_hook(packet, now)
+
+    def _emit_decision(self, decision: str, now: float, backlog: int) -> None:
+        # Transition-only gate events: the auditor cross-checks the
+        # work-conservation contract (enforce only above the threshold).
+        if not self._tele.enabled:
+            return
+        self._last_decision = decision
+        self._tele.trace.emit_fields(
+            EV_GATE, now, node=self._gate_name,
+            size=self.bypass_threshold_bytes, value=float(backlog),
+            reason=decision,
+        )

@@ -76,6 +76,8 @@ def telemetry_session(
     profile: bool = False,
     ring_capacity: Optional[int] = None,
     summary: bool = False,
+    flight_path: Optional[str] = None,
+    audit: bool = False,
 ) -> Iterator[Optional[Telemetry]]:
     """Ambiently instrument every simulator built inside the ``with`` body.
 
@@ -85,9 +87,15 @@ def telemetry_session(
         with telemetry_session(jsonl_path=args.telemetry) as tele:
             run_cc_pair(...)
 
-    Sinks are flushed/closed on exit.
+    ``flight_path`` installs the INT flight recorder (streaming completed
+    flights to that JSONL file); ``audit`` attaches a conservation-law
+    :class:`~repro.obs.RunAuditor` — read its verdict off
+    ``tele.auditor`` after the block. Sinks are flushed/closed on exit.
     """
-    if jsonl_path is None and not profile and ring_capacity is None and not summary:
+    if (
+        jsonl_path is None and not profile and ring_capacity is None
+        and not summary and flight_path is None and not audit
+    ):
         yield None
         return
     tele = Telemetry(enabled=True, profile=profile)
@@ -97,6 +105,10 @@ def telemetry_session(
         tele.add_ring(ring_capacity)
     if summary:
         tele.add_summary()
+    if flight_path is not None:
+        tele.enable_flight_recording(flight_path)
+    if audit:
+        tele.enable_audit()
     try:
         with tele.activate():
             yield tele

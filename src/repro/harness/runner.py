@@ -17,7 +17,10 @@ JSON-kwargs call of an importable function) in isolated worker processes:
   *crashes* (non-zero exit without reporting a result);
 * **observable** — with ``profile=True`` each worker activates its own
   :class:`~repro.obs.Telemetry` profiler and ships the profiler snapshot
-  back in its report;
+  back in its report; with ``audit=True`` each worker attaches a
+  :class:`~repro.obs.RunAuditor` and ships its conservation-law verdict;
+  with ``flight_dir=...`` each worker records INT flights to
+  ``<flight_dir>/<job>.flights.jsonl`` for ``repro telemetry flights``;
 * **aggregated** — results stream back over pipes and are written as one
   JSONL line per job (``write_results_jsonl``), with a stable digest over
   the deterministic fields so two sweeps can be compared byte-for-byte.
@@ -89,6 +92,10 @@ class JobResult:
     result: Optional[dict] = None
     error: Optional[str] = None
     profile: Optional[dict] = None
+    #: Conservation-audit verdict (``audit=True`` sweeps). Like ``profile``
+    #: it rides *outside* ``result`` so enabling the auditor cannot change
+    #: :func:`results_digest` — auditing a run must not perturb it.
+    audit: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -127,10 +134,14 @@ def _worker_main(payload: dict, conn) -> None:
             pass
         fn = resolve_target(payload["target"])
         telemetry = None
-        if payload.get("profile"):
+        if payload.get("profile") or payload.get("audit") or payload.get("flight_path"):
             from ..obs.telemetry import Telemetry
 
-            telemetry = Telemetry(enabled=True, profile=True)
+            telemetry = Telemetry(enabled=True, profile=bool(payload.get("profile")))
+            if payload.get("audit"):
+                telemetry.enable_audit()
+            if payload.get("flight_path"):
+                telemetry.enable_flight_recording(payload["flight_path"])
         t0 = time.perf_counter()
         if telemetry is not None:
             with telemetry.activate():
@@ -140,8 +151,19 @@ def _worker_main(payload: dict, conn) -> None:
         report["wall_s"] = time.perf_counter() - t0
         report["status"] = STATUS_OK
         report["result"] = result
-        if telemetry is not None and telemetry.profiler is not None:
-            report["profile"] = telemetry.profiler.snapshot()
+        if telemetry is not None:
+            telemetry.close()
+            if telemetry.profiler is not None:
+                report["profile"] = telemetry.profiler.snapshot()
+            if telemetry.auditor is not None:
+                verdict = telemetry.auditor.report()
+                # Ship a bounded verdict: the flow ledgers and deep violation
+                # windows stay in the worker; 20 violations diagnose a run.
+                report["audit"] = {
+                    "events_seen": verdict["events_seen"],
+                    "violation_count": verdict["violation_count"],
+                    "violations": verdict["violations"][:20],
+                }
     except BaseException:
         report["status"] = STATUS_FAILED
         report["error"] = traceback.format_exc(limit=20)
@@ -185,24 +207,37 @@ class _Running:
         self.started = time.monotonic()
 
 
+def flight_file_for(flight_dir: str, job_name: str) -> str:
+    """The per-job flight-record path inside an ``audit``/``flight_dir`` sweep."""
+    return os.path.join(flight_dir, job_name.replace("/", "_") + ".flights.jsonl")
+
+
 def run_jobs(
     specs: Sequence[JobSpec],
     jobs: int = 1,
     profile: bool = False,
+    audit: bool = False,
+    flight_dir: Optional[str] = None,
     on_result: Optional[Callable[[JobResult], None]] = None,
     poll_interval: float = 0.05,
 ) -> List[JobResult]:
     """Run ``specs`` across ``jobs`` worker processes; returns results in
     spec order regardless of completion order.
 
-    ``on_result`` (if given) is called with each :class:`JobResult` as it
-    lands — the CLI uses it for live progress lines.
+    ``audit=True`` attaches a conservation-law auditor in each worker and
+    ships its verdict back as :attr:`JobResult.audit`; ``flight_dir``
+    streams each job's completed INT flights to
+    ``<flight_dir>/<job>.flights.jsonl``. ``on_result`` (if given) is
+    called with each :class:`JobResult` as it lands — the CLI uses it for
+    live progress lines.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise ConfigurationError("job names must be unique within a sweep")
+    if flight_dir is not None:
+        os.makedirs(flight_dir, exist_ok=True)
 
     ctx = multiprocessing.get_context("spawn")
     queue: List[tuple] = [(spec, 1) for spec in reversed(specs)]
@@ -217,6 +252,12 @@ def run_jobs(
             "kwargs": dict(spec.kwargs),
             "worker_seed": spec.worker_seed(),
             "profile": profile,
+            "audit": audit,
+            "flight_path": (
+                flight_file_for(flight_dir, spec.name)
+                if flight_dir is not None
+                else None
+            ),
         }
         proc = ctx.Process(
             target=_worker_main, args=(payload, child_conn), daemon=True
@@ -236,6 +277,7 @@ def run_jobs(
                 wall_s=float(report.get("wall_s", 0.0)),
                 result=report.get("result"),
                 profile=report.get("profile"),
+                audit=report.get("audit"),
             )
         elif timed_out:
             outcome = JobResult(
@@ -339,6 +381,8 @@ def result_line(result: JobResult) -> dict:
         line["error"] = result.error
     if result.profile is not None:
         line["profile"] = result.profile
+    if result.audit is not None:
+        line["audit"] = result.audit
     return line
 
 
@@ -368,6 +412,7 @@ def read_results_jsonl(path: str) -> List[JobResult]:
                     result=record.get("result"),
                     error=record.get("error"),
                     profile=record.get("profile"),
+                    audit=record.get("audit"),
                 )
             )
     return results

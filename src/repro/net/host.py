@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Protocol
 
 from ..errors import ConfigurationError, RoutingError
+from ..obs.events import EV_DELIVER, EV_HOST_SEND
 from ..queues.fifo import PhysicalFifoQueue
 from .link import Link, Transmitter
 from .packet import Packet
@@ -48,6 +49,9 @@ class Host:
         self._nic_queue = PhysicalFifoQueue(
             nic_buffer_bytes, name=f"{name}.nic", telemetry=sim.telemetry
         )
+        tele = sim.telemetry
+        self._tele = tele if tele is not None and tele.enabled else None
+        self._flight = self._tele.flightrec if self._tele is not None else None
         #: Packets the NIC queue refused at enqueue (host egress drops).
         self.nic_dropped_packets = 0
         self._transmitter: Optional[Transmitter] = None
@@ -94,9 +98,24 @@ class Host:
             self.forward_to_nic(packet)
 
     def forward_to_nic(self, packet: Packet) -> None:
-        """Bypass shaping and enqueue directly on the NIC (shaper release path)."""
+        """Bypass shaping and enqueue directly on the NIC (shaper release path).
+
+        This is the injection point the conservation auditor counts:
+        a ``host_send`` event fires here (post-shaper, so shaper discards
+        never enter the in-flight ledger) and, with flight recording on,
+        the packet is armed with its in-band hop-record header.
+        """
         if self.on_transmit is not None:
             self.on_transmit(packet)
+        tele = self._tele
+        if tele is not None and tele.enabled:
+            tele.trace.emit_fields(
+                EV_HOST_SEND, self.sim.now, node=self.name,
+                flow_id=packet.flow_id, size=packet.size,
+            )
+            fr = self._flight
+            if fr is not None:
+                fr.start(packet, self.sim.now)
         if not self.transmitter.offer(packet):
             self.nic_dropped_packets += 1
 
@@ -123,6 +142,12 @@ class Host:
                 f"packet for {packet.dst} delivered to host {self.name}"
             )
         now = self.sim.now
+        tele = self._tele
+        if tele is not None and tele.enabled:
+            tele.trace.emit_fields(
+                EV_DELIVER, now, node=self.name,
+                flow_id=packet.flow_id, size=packet.size,
+            )
         for tap in self.receive_taps:
             tap(packet, now)
         endpoint = self._endpoints.get(packet.flow_id, self._default_endpoint)
@@ -130,3 +155,8 @@ class Host:
             endpoint.on_packet(packet, self.sim.now)
         # Packets for unknown flows are silently dropped, like a real host
         # RST-ing a stale connection; tests assert on endpoint coverage.
+        # The flight completes *after* endpoint dispatch so receivers can
+        # still read the in-band header (to build the ACK digest echo).
+        fr = self._flight
+        if fr is not None and packet.flight is not None:
+            fr.complete(packet, now, "delivered", node=self.name)

@@ -120,6 +120,10 @@ class Transmitter:
         self.link = link
         self.egress_hooks: List[PipelineHook] = list(egress_hooks or [])
         self.name = name
+        tele = sim.telemetry
+        self._flight = (
+            tele.flightrec if tele is not None and tele.enabled else None
+        )
         self._busy = False
         #: Absolute sim time when the in-flight packet leaves the line.
         self._tx_end = 0.0
@@ -195,6 +199,11 @@ class Transmitter:
     def _run_egress(self, packet: Packet, now: float) -> bool:
         for hook in self.egress_hooks:
             if not hook(packet, now):
+                # Egress discard (an egress-position AQ limit-drop): the
+                # hook recorded why, the port name says where.
+                fr = self._flight
+                if fr is not None and packet.flight is not None:
+                    fr.complete(packet, now, "dropped", node=self.name)
                 return False
         return True
 

@@ -11,7 +11,11 @@ header carries everything the paper's data plane needs:
   ``0`` is the default value meaning "no AQ at this position"),
 * ``virtual_delay`` — the per-hop accumulated virtual queuing delay the AQ
   abstraction piggybacks for delay-based CCs (Section 3.3.2), and its echo
-  on ACKs (``echo_virtual_delay``).
+  on ACKs (``echo_virtual_delay``),
+* ``flight`` — the INT-style in-band hop-record list appended by queues and
+  AQs when flight recording is enabled (``None`` otherwise; see
+  :mod:`repro.obs.flightrec`), and ``flight_digest`` — the compact summary
+  a receiver echoes back on ACKs, mirroring ``echo_virtual_delay``.
 
 Packets are mutated in place along the path (exactly like real headers) and
 never shared between two in-flight copies: retransmissions construct fresh
@@ -59,6 +63,8 @@ class Packet:
         "sent_time",
         "enqueue_time",
         "retransmission",
+        "flight",
+        "flight_digest",
     )
 
     def __init__(
@@ -95,6 +101,8 @@ class Packet:
         self.sent_time = 0.0
         self.enqueue_time = 0.0
         self.retransmission = retransmission
+        self.flight = None
+        self.flight_digest = None
 
     @property
     def is_ack(self) -> bool:

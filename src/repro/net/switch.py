@@ -69,6 +69,9 @@ class Switch:
         tele = sim.telemetry
         if tele is not None and tele.enabled:
             tele.metrics.add_collector(self._collect_metrics)
+            self._flight = tele.flightrec
+        else:
+            self._flight = None
 
     def _collect_metrics(self, registry) -> None:
         stats = self.stats
@@ -132,7 +135,13 @@ class Switch:
         now = self.sim.now
         for hook in self.ingress_hooks:
             if not hook(packet, now):
+                # Ingress discard (an ingress-position AQ limit-drop). The
+                # hook recorded *why*; the switch knows *where*, so it seals
+                # the flight with its own name as the drop site.
                 self.stats.ingress_dropped_packets += 1
+                fr = self._flight
+                if fr is not None and packet.flight is not None:
+                    fr.complete(packet, now, "dropped", node=self.name)
                 return
         port = self.route_for(packet.dst, packet)
         for tap in self.taps:

@@ -4,19 +4,38 @@ See DESIGN.md's "Observability" section for the architecture; the short
 version: pull-based metrics (collectors run at snapshot time), push-based
 typed trace events (guarded by one ``enabled`` check), and an optional
 run-loop profiler — all bundled in a :class:`Telemetry` object carried by
-the simulator.
+the simulator. Two heavier opt-in layers ride on the same guard: the INT
+flight recorder (:mod:`repro.obs.flightrec`) piggybacks per-hop records
+on packets, and the conservation-law auditor (:mod:`repro.obs.audit`)
+re-derives the data plane's bookkeeping from the trace stream.
 """
 
+from .audit import AuditError, AuditViolation, RunAuditor
 from .events import (
+    ALL_EVENT_TYPES,
+    AUDIT_EVENT_TYPES,
     CORE_EVENT_TYPES,
     EV_AGAP_UPDATE,
+    EV_AQ_RATE,
     EV_CWND_CHANGE,
+    EV_DELIVER,
     EV_DEQUEUE,
     EV_DROP,
     EV_ECN_MARK,
     EV_ENQUEUE,
+    EV_GATE,
+    EV_HOST_SEND,
     EV_RATE_LIMIT,
     TraceEvent,
+)
+from .flightrec import (
+    Flight,
+    FlightIndex,
+    FlightRecorder,
+    FlightSink,
+    HopRecord,
+    JsonlFlightSink,
+    read_flights_jsonl,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profiler import SimProfiler
@@ -31,15 +50,31 @@ from .tracebus import (
 )
 
 __all__ = [
+    "ALL_EVENT_TYPES",
+    "AUDIT_EVENT_TYPES",
     "CORE_EVENT_TYPES",
     "EV_AGAP_UPDATE",
+    "EV_AQ_RATE",
     "EV_CWND_CHANGE",
+    "EV_DELIVER",
     "EV_DEQUEUE",
     "EV_DROP",
     "EV_ECN_MARK",
     "EV_ENQUEUE",
+    "EV_GATE",
+    "EV_HOST_SEND",
     "EV_RATE_LIMIT",
     "TraceEvent",
+    "AuditError",
+    "AuditViolation",
+    "RunAuditor",
+    "Flight",
+    "FlightIndex",
+    "FlightRecorder",
+    "FlightSink",
+    "HopRecord",
+    "JsonlFlightSink",
+    "read_flights_jsonl",
     "Counter",
     "Gauge",
     "Histogram",

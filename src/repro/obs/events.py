@@ -3,8 +3,12 @@
 Every event is a :class:`TraceEvent` with a small fixed field set so
 sinks can serialize without per-type schemas. The ``type`` strings below
 are the core vocabulary; components may emit additional types, but the
-seven here are what the CI smoke test and ``repro telemetry summarize``
-treat as first-class.
+seven in :data:`CORE_EVENT_TYPES` are what the CI smoke test and
+``repro telemetry summarize`` treat as first-class. The four in
+:data:`AUDIT_EVENT_TYPES` exist so the conservation-law auditor
+(:mod:`repro.obs.audit`) can close its books: they mark where packets
+enter and leave the network and carry the side-band state (AQ drain
+rate, gate decisions) the replayed invariants need.
 
 Field semantics (``None`` means "not applicable", dropped from JSON):
 
@@ -15,10 +19,17 @@ Field semantics (``None`` means "not applicable", dropped from JSON):
            ``"h1.nic"`` (host NIC queue), ``"tcp"`` (a transport)
 ``flow_id`` transport flow id carried by the packet, if any
 ``aq_id``  Augmented Queue id for AQ-originated events
-``size``   packet size in bytes, where a packet is involved
+``size``   packet size in bytes, where a packet is involved (for ``gate``
+           events: the bypass threshold in bytes)
 ``value``  type-specific scalar: the A-Gap in bytes for ``agap_update``,
            the congestion window in bytes for ``cwnd_change``, the
-           backlog in bytes for queue events
+           backlog in bytes for queue events, the drain rate in bit/s
+           for ``aq_rate``
+``reason`` short cause label on discard/decision events: ``"buffer"``
+           (tail drop), ``"red"`` (probabilistic RED drop), ``"no_queue"``
+           (per-flow queue table exhausted), ``"rate_limit"`` (AQ limit
+           drop), ``"shaper"`` (token-bucket backlog cap), and
+           ``"bypass"``/``"enforce"`` on ``gate`` events
 ========== ===================================================================
 """
 
@@ -40,6 +51,14 @@ EV_AGAP_UPDATE = "agap_update"
 EV_RATE_LIMIT = "rate_limit"
 #: A congestion-control algorithm changed its window.
 EV_CWND_CHANGE = "cwnd_change"
+#: A host handed a packet to its NIC — the packet is now "injected".
+EV_HOST_SEND = "host_send"
+#: A host received a packet off the wire — the packet is now "delivered".
+EV_DELIVER = "deliver"
+#: An Augmented Queue's drain rate was (re)announced; ``value`` is bit/s.
+EV_AQ_RATE = "aq_rate"
+#: The work-conserving gate flipped between bypass and enforce.
+EV_GATE = "gate"
 
 #: The canonical event vocabulary, in emission-likelihood order.
 CORE_EVENT_TYPES = (
@@ -52,7 +71,20 @@ CORE_EVENT_TYPES = (
     EV_CWND_CHANGE,
 )
 
-_FIELDS = ("type", "time", "node", "flow_id", "aq_id", "size", "value")
+#: Auxiliary events emitted for the conservation-law auditor and the
+#: flight recorder; always on when telemetry is enabled, but not part of
+#: the core seven the smoke test requires in every trace.
+AUDIT_EVENT_TYPES = (
+    EV_HOST_SEND,
+    EV_DELIVER,
+    EV_AQ_RATE,
+    EV_GATE,
+)
+
+#: Every event type the simulator itself emits.
+ALL_EVENT_TYPES = CORE_EVENT_TYPES + AUDIT_EVENT_TYPES
+
+_FIELDS = ("type", "time", "node", "flow_id", "aq_id", "size", "value", "reason")
 
 
 class TraceEvent:
@@ -69,6 +101,7 @@ class TraceEvent:
         aq_id: Optional[int] = None,
         size: Optional[int] = None,
         value: Optional[float] = None,
+        reason: Optional[str] = None,
     ) -> None:
         self.type = type
         self.time = time
@@ -77,6 +110,7 @@ class TraceEvent:
         self.aq_id = aq_id
         self.size = size
         self.value = value
+        self.reason = reason
 
     def to_dict(self) -> dict:
         """Compact dict: ``None`` fields are omitted entirely."""
@@ -97,6 +131,7 @@ class TraceEvent:
             aq_id=data.get("aq_id"),
             size=data.get("size"),
             value=data.get("value"),
+            reason=data.get("reason"),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

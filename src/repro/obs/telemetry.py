@@ -26,6 +26,8 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator, Optional
 
+from .audit import RunAuditor
+from .flightrec import FlightRecorder
 from .metrics import MetricsRegistry
 from .profiler import SimProfiler
 from .tracebus import JsonlSink, RingBufferSink, SummarySink, TraceBus
@@ -47,6 +49,11 @@ class Telemetry:
         self.metrics = MetricsRegistry()
         self.trace = TraceBus()
         self.profiler: Optional[SimProfiler] = SimProfiler() if profile else None
+        #: In-band flight recorder; install with :meth:`enable_flight_recording`
+        #: *before* building the network (components cache the reference).
+        self.flightrec: Optional[FlightRecorder] = None
+        #: Conservation-law auditor; install with :meth:`enable_audit`.
+        self.auditor: Optional[RunAuditor] = None
 
     # -- switches --------------------------------------------------------------
 
@@ -63,6 +70,29 @@ class Telemetry:
             self.profiler = SimProfiler()
         return self.profiler
 
+    def enable_flight_recording(self, jsonl_path: Optional[str] = None) -> FlightRecorder:
+        """Install (and return) the INT flight recorder; implies ``enable()``.
+
+        Must run before the network is built — data-plane components cache
+        ``telemetry.flightrec`` at construction, mirroring the TraceBus
+        guard. ``jsonl_path`` additionally streams completed flights to a
+        file readable by ``repro telemetry flights``.
+        """
+        self.enabled = True
+        if self.flightrec is None:
+            self.flightrec = FlightRecorder()
+        if jsonl_path is not None:
+            self.flightrec.add_jsonl(jsonl_path)
+        return self.flightrec
+
+    def enable_audit(self, strict: bool = False) -> RunAuditor:
+        """Attach (and return) a conservation-law auditor; implies ``enable()``."""
+        self.enabled = True
+        if self.auditor is None:
+            self.auditor = RunAuditor(strict=strict)
+            self.trace.attach(self.auditor)
+        return self.auditor
+
     # -- sink shorthands -------------------------------------------------------
 
     def add_ring(self, capacity: int = 10000) -> RingBufferSink:
@@ -77,6 +107,8 @@ class Telemetry:
     def close(self) -> None:
         """Flush every sink (call after the run; safe to call twice)."""
         self.trace.close()
+        if self.flightrec is not None:
+            self.flightrec.close()
 
     # -- ambient installation --------------------------------------------------
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 from collections import Counter as _TallyCounter
 from collections import deque
-from typing import IO, Deque, Iterator, List, Optional, Union
+from typing import IO, Callable, Deque, Iterator, List, Optional, Union
 
 from ..errors import ConfigurationError
 from .events import TraceEvent
@@ -157,17 +157,31 @@ class TraceBus:
         aq_id: Optional[int] = None,
         size: Optional[int] = None,
         value: Optional[float] = None,
+        reason: Optional[str] = None,
     ) -> None:
         """Convenience wrapper so hot-path call sites stay one line."""
-        self.emit(TraceEvent(type, time, node, flow_id, aq_id, size, value))
+        self.emit(TraceEvent(type, time, node, flow_id, aq_id, size, value, reason))
 
     def close(self) -> None:
         for sink in self._sinks:
             sink.close()
 
 
-def read_jsonl(path: str) -> Iterator[TraceEvent]:
-    """Stream events back from a :class:`JsonlSink` file."""
+def read_jsonl(
+    path: str,
+    *,
+    strict: bool = True,
+    on_skip: Optional[Callable[[int, str], None]] = None,
+) -> Iterator[TraceEvent]:
+    """Stream events back from a :class:`JsonlSink` file.
+
+    By default a malformed line raises :class:`ConfigurationError` with
+    the offending line number. With ``strict=False`` bad lines (invalid
+    JSON — e.g. a truncated final line — or records missing the required
+    ``type``/``time`` keys) are skipped instead; ``on_skip(lineno, detail)``
+    is called for each so callers can warn. I/O errors (missing or
+    unreadable file) always propagate as :class:`OSError`.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -175,8 +189,15 @@ def read_jsonl(path: str) -> Iterator[TraceEvent]:
                 continue
             try:
                 data = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ConfigurationError(
-                    f"{path}:{lineno}: invalid JSONL trace line: {exc}"
-                ) from exc
-            yield TraceEvent.from_dict(data)
+                if not isinstance(data, dict):
+                    raise KeyError("not a JSON object")
+                event = TraceEvent.from_dict(data)
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                if strict:
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: invalid JSONL trace line: {exc}"
+                    ) from exc
+                if on_skip is not None:
+                    on_skip(lineno, str(exc))
+                continue
+            yield event

@@ -34,6 +34,8 @@ class FifoQueueStats:
         "dequeued_bytes",
         "dropped_packets",
         "dropped_bytes",
+        "dropped_buffer_packets",
+        "dropped_red_packets",
         "ecn_marked_packets",
         "max_bytes_queued",
         "queuing_delays",
@@ -46,6 +48,8 @@ class FifoQueueStats:
         self.dequeued_bytes = 0
         self.dropped_packets = 0
         self.dropped_bytes = 0
+        self.dropped_buffer_packets = 0
+        self.dropped_red_packets = 0
         self.ecn_marked_packets = 0
         self.max_bytes_queued = 0
         self.queuing_delays: list = []
@@ -107,6 +111,7 @@ class PhysicalFifoQueue(QueueDiscipline):
         # Only carry an enabled telemetry; a disabled one would still cost
         # the ``tele.enabled`` load per packet for nothing.
         self._tele = telemetry if telemetry is not None and telemetry.enabled else None
+        self._flight = self._tele.flightrec if self._tele is not None else None
         if self._tele is not None:
             self._tele.metrics.add_collector(self._collect_metrics)
 
@@ -119,8 +124,13 @@ class PhysicalFifoQueue(QueueDiscipline):
         registry.counter("queue_dequeued_packets", queue=label).set(
             stats.dequeued_packets
         )
-        registry.counter("queue_dropped_packets", queue=label).set(
-            stats.dropped_packets
+        # One series per drop cause; ``value("queue_dropped_packets", ...)``
+        # sums them, so the undifferentiated total is still reconstructable.
+        registry.counter("queue_dropped_packets", queue=label, reason="buffer").set(
+            stats.dropped_buffer_packets
+        )
+        registry.counter("queue_dropped_packets", queue=label, reason="red").set(
+            stats.dropped_red_packets
         )
         registry.counter("queue_ecn_marked_packets", queue=label).set(
             stats.ecn_marked_packets
@@ -140,11 +150,18 @@ class PhysicalFifoQueue(QueueDiscipline):
         if self._bytes + packet.size > self.limit_bytes:
             self.stats.dropped_packets += 1
             self.stats.dropped_bytes += packet.size
+            self.stats.dropped_buffer_packets += 1
             if tele is not None and tele.enabled:
                 tele.trace.emit_fields(
                     EV_DROP, now, node=self.name, flow_id=packet.flow_id,
-                    size=packet.size, value=float(self._bytes),
+                    size=packet.size, value=float(self._bytes), reason="buffer",
                 )
+                fr = self._flight
+                if fr is not None and packet.flight is not None:
+                    fr.drop_hop(
+                        packet, self.name, now, "buffer", depth=float(self._bytes)
+                    )
+                    fr.complete(packet, now, "dropped", node=self.name)
             return False
         if (
             self.ecn_threshold_bytes is not None
@@ -171,11 +188,18 @@ class PhysicalFifoQueue(QueueDiscipline):
                 if self._rng.random() < drop_probability:
                     self.stats.dropped_packets += 1
                     self.stats.dropped_bytes += packet.size
+                    self.stats.dropped_red_packets += 1
                     if tele is not None and tele.enabled:
                         tele.trace.emit_fields(
                             EV_DROP, now, node=self.name, flow_id=packet.flow_id,
-                            size=packet.size, value=float(self._bytes),
+                            size=packet.size, value=float(self._bytes), reason="red",
                         )
+                        fr = self._flight
+                        if fr is not None and packet.flight is not None:
+                            fr.drop_hop(
+                                packet, self.name, now, "red", depth=float(self._bytes)
+                            )
+                            fr.complete(packet, now, "dropped", node=self.name)
                     return False
         packet.enqueue_time = now
         self._queue.append(packet)
@@ -189,6 +213,11 @@ class PhysicalFifoQueue(QueueDiscipline):
                 EV_ENQUEUE, now, node=self.name, flow_id=packet.flow_id,
                 size=packet.size, value=float(self._bytes),
             )
+            # Nested under the telemetry guard (flight recording implies
+            # enabled telemetry) so the disabled path stays one flag check.
+            fr = self._flight
+            if fr is not None and packet.flight is not None:
+                fr.queue_hop(packet, self.name, now, float(self._bytes))
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
@@ -206,6 +235,9 @@ class PhysicalFifoQueue(QueueDiscipline):
                 EV_DEQUEUE, now, node=self.name, flow_id=packet.flow_id,
                 size=packet.size, value=float(self._bytes),
             )
+            fr = self._flight
+            if fr is not None and packet.flight is not None:
+                fr.queue_exit(packet, self.name, now)
         return packet
 
     @property

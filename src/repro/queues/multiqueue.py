@@ -68,11 +68,15 @@ class MultiQueuePort(QueueDiscipline):
         self.scheduler = scheduler
         self.classifier = classifier or hash_on_entity(num_queues)
         self.name = name
+        # Even unnamed ports give their sub-queues distinct names: the run
+        # auditor keys per-queue conservation on the node label, and two
+        # queues sharing a label would be conflated into one ledger.
+        base = name if name else f"mq@{id(self):x}"
         self.queues: List[PhysicalFifoQueue] = [
             PhysicalFifoQueue(
                 limit_bytes=limit_bytes_per_queue,
                 ecn_threshold_bytes=ecn_threshold_bytes,
-                name=f"{name}.q{i}" if name else "",
+                name=f"{base}.q{i}",
                 telemetry=telemetry,
             )
             for i in range(num_queues)

@@ -96,15 +96,21 @@ class PerFlowQueue(QueueDiscipline):
         self._queues: "OrderedDict[int, _SubQueue]" = OrderedDict()
         self._bytes = 0
         self.dropped_packets = 0
+        self.dropped_buffer_packets = 0
+        self.dropped_no_queue_packets = 0
         self.peak_queue_count = 0
         self._tele = telemetry if telemetry is not None and telemetry.enabled else None
+        self._flight = self._tele.flightrec if self._tele is not None else None
         if self._tele is not None:
             self._tele.metrics.add_collector(self._collect_metrics)
 
     def _collect_metrics(self, registry) -> None:
         label = self.name or f"perflow@{id(self):x}"
-        registry.counter("queue_dropped_packets", queue=label).set(
-            self.dropped_packets
+        registry.counter("queue_dropped_packets", queue=label, reason="buffer").set(
+            self.dropped_buffer_packets
+        )
+        registry.counter("queue_dropped_packets", queue=label, reason="no_queue").set(
+            self.dropped_no_queue_packets
         )
         registry.gauge("queue_backlog_bytes", queue=label).set(self._bytes)
         registry.gauge("perflow_peak_queue_count", queue=label).set(
@@ -113,13 +119,17 @@ class PerFlowQueue(QueueDiscipline):
 
     # -- QueueDiscipline -----------------------------------------------------
 
-    def _emit_drop(self, packet: Packet, now: float) -> None:
+    def _emit_drop(self, packet: Packet, now: float, reason: str) -> None:
         tele = self._tele
         if tele is not None and tele.enabled:
             tele.trace.emit_fields(
                 EV_DROP, now, node=self.name, flow_id=packet.flow_id,
-                size=packet.size, value=float(self._bytes),
+                size=packet.size, value=float(self._bytes), reason=reason,
             )
+        fr = self._flight
+        if fr is not None and packet.flight is not None:
+            fr.drop_hop(packet, self.name, now, reason, depth=float(self._bytes))
+            fr.complete(packet, now, "dropped", node=self.name)
 
     def enqueue(self, packet: Packet, now: float) -> bool:
         key = self.key_fn(packet)
@@ -130,7 +140,8 @@ class PerFlowQueue(QueueDiscipline):
                 # the paper describes — drop (a real switch would fall back
                 # to a shared default queue, same loss of isolation).
                 self.dropped_packets += 1
-                self._emit_drop(packet, now)
+                self.dropped_no_queue_packets += 1
+                self._emit_drop(packet, now, "no_queue")
                 return False
             weight = self.weight_fn(key) if self.weight_fn else 1.0
             queue = _SubQueue(weight)
@@ -139,7 +150,8 @@ class PerFlowQueue(QueueDiscipline):
                 self.peak_queue_count = len(self._queues)
         if queue.bytes + packet.size > self.limit_bytes_per_queue:
             self.dropped_packets += 1
-            self._emit_drop(packet, now)
+            self.dropped_buffer_packets += 1
+            self._emit_drop(packet, now, "buffer")
             return False
         packet.enqueue_time = now
         queue.packets.append(packet)

@@ -109,10 +109,12 @@ class TokenBucketShaper:
             self.dropped_packets += 1
             tele = self._tele
             if tele is not None and tele.enabled:
+                # No aq_id: the auditor uses its absence to tell shaper
+                # discards (pre-injection) from in-fabric AQ limit drops.
                 tele.trace.emit_fields(
                     EV_RATE_LIMIT, self.sim.now, node="shaper",
                     flow_id=packet.flow_id, size=packet.size,
-                    value=float(self._backlog_bytes),
+                    value=float(self._backlog_bytes), reason="shaper",
                 )
             return
         self._backlog.append(packet)

@@ -124,6 +124,7 @@ class TcpSender:
 
         tele = sim.telemetry
         self._tele = tele if tele is not None and tele.enabled else None
+        self._flight = self._tele.flightrec if self._tele is not None else None
         self._last_reported_cwnd = cc.cwnd
         if self._tele is not None:
             self._tele.metrics.add_collector(self._collect_metrics)
@@ -255,6 +256,10 @@ class TcpSender:
     def on_packet(self, packet: Packet, now: float) -> None:
         if not packet.is_ack or self.completed:
             return
+        if packet.flight_digest is not None and self._flight is not None:
+            # The receiver echoed a flight digest on this ACK (the in-band
+            # telemetry round trip); index it for per-flow path queries.
+            self._flight.note_echo(self.flow_id, packet.flight_digest, now)
         ack = packet.ack
         if ack > self.snd_una:
             self._on_new_ack(packet, ack, now)
@@ -428,6 +433,9 @@ class TcpReceiver:
         self._pending_ece = False
         self._pending_virtual_delay = 0.0
         self._ack_timer = None
+        tele = sim.telemetry
+        self._flight = tele.flightrec if tele is not None and tele.enabled else None
+        self._pending_flight_digest = None
         host.register_flow(flow_id, self)
 
     def on_packet(self, packet: Packet, now: float) -> None:
@@ -456,6 +464,14 @@ class TcpReceiver:
         self._pending_ece = self._pending_ece or packet.ce
         if packet.virtual_delay > self._pending_virtual_delay:
             self._pending_virtual_delay = packet.virtual_delay
+        fr = self._flight
+        if fr is not None and packet.flight is not None:
+            # The packet's in-band hop records are still attached here (the
+            # host seals the flight after endpoint dispatch); summarize them
+            # for the ACK echo, mirroring the ECN/virtual-delay echoes.
+            digest = fr.digest_of(packet)
+            if digest is not None:
+                self._pending_flight_digest = digest
         self._unacked += 1
         must_ack_now = (
             self.ack_every == 1
@@ -484,6 +500,9 @@ class TcpReceiver:
             ece=self._pending_ece,
             echo_virtual_delay=self._pending_virtual_delay,
         )
+        if self._pending_flight_digest is not None:
+            ack.flight_digest = self._pending_flight_digest
+            self._pending_flight_digest = None
         self._unacked = 0
         self._pending_ece = False
         self._pending_virtual_delay = 0.0

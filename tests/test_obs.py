@@ -15,6 +15,8 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.harness.scenarios import run_cc_pair
 from repro.obs import (
+    ALL_EVENT_TYPES,
+    AUDIT_EVENT_TYPES,
     CORE_EVENT_TYPES,
     EV_CWND_CHANGE,
     EV_DEQUEUE,
@@ -124,6 +126,18 @@ class TestTraceEvent:
         assert len(CORE_EVENT_TYPES) == 7
         assert len(set(CORE_EVENT_TYPES)) == 7
 
+    def test_full_vocabulary_is_core_plus_audit(self):
+        assert ALL_EVENT_TYPES == CORE_EVENT_TYPES + AUDIT_EVENT_TYPES
+        assert len(ALL_EVENT_TYPES) == 11
+        assert len(set(ALL_EVENT_TYPES)) == 11
+
+    def test_reason_field_round_trips(self):
+        event = TraceEvent(EV_DROP, 0.1, node="s0.p0", size=1500, reason="red")
+        assert event.to_dict()["reason"] == "red"
+        assert TraceEvent.from_dict(event.to_dict()).reason == "red"
+        # And absent reasons stay absent, not null.
+        assert "reason" not in TraceEvent(EV_DROP, 0.1).to_dict()
+
 
 class TestSinks:
     def _events(self, n):
@@ -173,6 +187,28 @@ class TestSinks:
         path.write_text('{"type":"drop","time":0}\nnot json\n')
         with pytest.raises(ConfigurationError, match="2"):
             list(read_jsonl(str(path)))
+
+    def test_read_jsonl_tolerant_mode_skips_bad_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type":"drop","time":0}\n'
+            "not json\n"
+            '{"time":1}\n'          # missing required field
+            '{"type":"drop","time":2}\n'
+            '{"type":"drop","time":'  # truncated final line
+        )
+        skipped = []
+        events = list(read_jsonl(
+            str(path), strict=False,
+            on_skip=lambda lineno, problem: skipped.append(lineno),
+        ))
+        assert [e.time for e in events] == [0, 2]
+        assert skipped == [2, 3, 5]
+
+    def test_read_jsonl_tolerant_mode_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert list(read_jsonl(str(path), strict=False)) == []
 
     def test_summary_sink_tallies(self):
         summary = SummarySink()
@@ -377,11 +413,22 @@ class TestReconstruction:
     def test_physical_drops_match_queue_counters_under_pq(self):
         tele = Telemetry(enabled=True)
         summary = tele.add_summary()
+        ring = tele.add_ring(200_000)
         with tele.activate():
             run_cc_pair("cubic", 2, "udp", 1, "pq", **SHORT)
         tele.metrics.collect()
         assert summary.count(EV_DROP) == tele.metrics.value("queue_dropped_packets")
         assert summary.count(EV_DROP) > 0  # UDP at line rate overflows the port
+        # Satellite: every drop is attributed — a reason label on the event
+        # and a matching per-reason metric series that sums to the total.
+        drop_reasons = {e.reason for e in ring.of_type(EV_DROP)}
+        assert drop_reasons and None not in drop_reasons
+        assert drop_reasons <= {"buffer", "red", "no_queue"}
+        per_reason = sum(
+            tele.metrics.value("queue_dropped_packets", reason=reason)
+            for reason in drop_reasons
+        )
+        assert per_reason == summary.count(EV_DROP)
 
     def test_disabled_telemetry_emits_nothing(self):
         tele = Telemetry(enabled=False)
@@ -425,3 +472,33 @@ class TestCliTelemetry:
         out = capsys.readouterr().out
         assert "enqueue" in out
         assert "total" in out
+
+    def test_summarize_tolerates_corrupt_and_empty_traces(self, tmp_path, capsys):
+        """Satellite: summarize must not crash on truncated or garbage
+        JSONL — skip bad lines with a warning; non-zero exit is reserved
+        for unreadable files."""
+        from repro.cli import main
+
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text(
+            '{"type":"enqueue","time":0,"size":100}\n'
+            "garbage\n"
+            '{"type":"dequeue","time":1,"size":100}\n'
+            '{"type":"drop","ti'  # truncated mid-write
+        )
+        assert main(["telemetry", "summarize", str(corrupt)]) == 0
+        captured = capsys.readouterr()
+        assert "enqueue" in captured.out
+        assert "2 bad line(s) skipped" in captured.err
+        assert "corrupt.jsonl:2" in captured.err
+
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["telemetry", "summarize", str(empty)]) == 0
+        assert "total" in capsys.readouterr().out  # a valid zero-event run
+
+    def test_summarize_missing_file_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["telemetry", "summarize", str(tmp_path / "nope.jsonl")]) == 1
+        assert "cannot read trace" in capsys.readouterr().err

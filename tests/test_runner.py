@@ -10,6 +10,7 @@ from repro.harness.runner import (
     JobSpec,
     compare_to_baseline,
     deterministic_result,
+    flight_file_for,
     load_baseline,
     read_results_jsonl,
     resolve_target,
@@ -201,6 +202,42 @@ class TestJsonlRoundTrip:
             lines = [json.loads(line) for line in fh]
         assert len(lines) == 1
         assert lines[0]["name"] == "a"
+
+    def test_round_trip_preserves_audit_verdict(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        results = [JobResult(
+            name="a", status="ok", attempts=1, wall_s=0.5, result={"x": 1},
+            audit={"events_seen": 42, "violation_count": 0, "violations": []},
+        )]
+        write_results_jsonl(results, path)
+        loaded = read_results_jsonl(path)
+        assert loaded == results
+        assert loaded[0].audit["events_seen"] == 42
+
+
+class TestAuditedJobs:
+    def test_audited_run_carries_clean_verdict_and_flight_files(self, tmp_path):
+        flight_dir = str(tmp_path / "flights")
+        specs = [spec("tiny/a-b", "job_tiny_scenario", timeout_s=300.0, seed=1)]
+        results = run_jobs(specs, audit=True, flight_dir=flight_dir)
+        assert results[0].ok
+        verdict = results[0].audit
+        assert verdict is not None
+        assert verdict["violation_count"] == 0
+        assert verdict["violations"] == []
+        assert verdict["events_seen"] > 1000
+        flight_path = flight_file_for(flight_dir, "tiny/a-b")
+        assert flight_path.endswith("tiny_a-b.flights.jsonl")
+        with open(flight_path, encoding="utf-8") as fh:
+            flights = [json.loads(line) for line in fh]
+        assert flights and all("status" in f for f in flights)
+
+    def test_audit_is_digest_neutral(self):
+        specs = [spec("tiny", "job_tiny_scenario", timeout_s=300.0, seed=1)]
+        plain = run_jobs(specs)
+        audited = run_jobs(specs, audit=True)
+        assert plain[0].audit is None and audited[0].audit is not None
+        assert results_digest(plain) == results_digest(audited)
 
 
 class TestBaseline:
