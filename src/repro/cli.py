@@ -17,6 +17,7 @@ the scales of record with assertions; the CLI is for interactive poking.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from collections import Counter
@@ -67,6 +68,9 @@ def _add_telemetry(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--audit", action="store_true",
                         help="attach the conservation-law run auditor; "
                              "exit 1 if any invariant is violated")
+    parser.add_argument("--faults", metavar="PLAN.JSON", default=None,
+                        help="activate a fault plan (docs/FAULTS.md schema) "
+                             "for every network the command builds")
 
 
 def metrics_path_for(trace_path: str) -> str:
@@ -281,6 +285,50 @@ def cmd_share(args) -> int:
     print(render_table(["entity", "throughput", "share"], rows))
     print(f"utilization: {result.utilization * 100:.0f}%")
     return 0
+
+
+def cmd_fault_restart(args) -> int:
+    """Guarantee degradation + re-convergence after a switch restart."""
+    from .harness.scenarios import run_switch_restart
+
+    bottleneck = gbps(args.bottleneck_gbps)
+    duration = args.duration_ms * 1e-3
+    result = run_switch_restart(
+        bottleneck_bps=bottleneck,
+        duration=duration,
+        warmup=duration / 6,
+        restart_at=args.restart_at_ms * 1e-3,
+        seed=args.seed,
+        tolerance=args.tolerance,
+    )
+    rows = []
+    for name, share in result.share_bps.items():
+        reconv = result.reconvergence_s[name]
+        rows.append([
+            name,
+            format_rate(share),
+            format_rate(result.rates_before_bps[name]),
+            format_rate(result.rates_during_bps[name]),
+            format_rate(result.rates_after_bps[name]),
+            f"{reconv * 1e3:.1f}ms" if reconv >= 0 else "never",
+        ])
+    print(render_table(
+        ["entity", "granted", "before", "during", "after", "reconverge"], rows
+    ))
+    for window in result.degraded_windows:
+        end = window["end"]
+        closed = f"{(end - window['start']) * 1e3:.2f}ms" if end is not None \
+            else "STILL OPEN"
+        print(f"degraded: aq={window['aq_id']} entity={window['entity']} "
+              f"@{window['switch']}/{window['position']} "
+              f"t={window['start'] * 1e3:.1f}ms window={closed}")
+    for name, stats in result.restart_stats.items():
+        print(f"restart: {name} x{stats['restarts']}, drained "
+              f"{stats['drained_packets']} pkts "
+              f"({stats['drained_bytes']:,} bytes)")
+    ok = result.recovered(args.tolerance)
+    print(f"recovered within {args.tolerance * 100:.0f}%: {'yes' if ok else 'NO'}")
+    return 0 if ok else 1
 
 
 def cmd_run_all(args) -> int:
@@ -592,6 +640,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_share)
 
     p = sub.add_parser(
+        "fault-restart",
+        help="guarantee degradation + re-convergence after a switch restart",
+        description="Run the fault-recovery experiment: a switch restart "
+                    "wipes the deployed AQs' register state mid-run; the "
+                    "controller redeploys with bounded retry/backoff and "
+                    "the per-entity throughput is measured before/during/"
+                    "after the fault window. See docs/FAULTS.md.",
+    )
+    _add_common(p)
+    p.add_argument("--restart-at-ms", type=float, default=50.0,
+                   help="when the bottleneck switch restarts (default 50)")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="allowed post-recovery shortfall vs the granted "
+                        "rate (default 0.05)")
+    p.set_defaults(fn=cmd_fault_restart, duration_ms=120.0)
+
+    p = sub.add_parser(
         "run-all",
         help="run registered experiment jobs across worker processes",
         description="Fan the registered experiment jobs (the benchmark "
@@ -658,6 +723,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    faults_path = getattr(args, "faults", None)
+    plan_scope: "contextlib.AbstractContextManager" = contextlib.nullcontext()
+    if faults_path is not None:
+        from .errors import FaultPlanError
+        from .faults import FaultPlan, activate_fault_plan
+
+        try:
+            plan = FaultPlan.from_file(faults_path)
+        except FaultPlanError as exc:
+            parser.error(f"invalid fault plan {faults_path!r}: {exc}")
+        plan_scope = activate_fault_plan(plan)
+
     trace_path = getattr(args, "telemetry", None)
     metrics_summary = getattr(args, "metrics_summary", False)
     profile = getattr(args, "profile", False)
@@ -667,7 +744,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace_path is None and not metrics_summary and not profile
         and flight_path is None and not audit
     ):
-        return args.fn(args)
+        with plan_scope:
+            return args.fn(args)
 
     try:
         session = telemetry_session(
@@ -678,7 +756,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except OSError as exc:
         parser.error(f"cannot open telemetry output {trace_path!r}: {exc}")
     try:
-        status = args.fn(args)
+        with plan_scope:
+            status = args.fn(args)
     finally:
         session.__exit__(None, None, None)
     assert tele is not None

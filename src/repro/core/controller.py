@@ -23,7 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..errors import AdmissionError, ConfigurationError
+from ..errors import AdmissionError, ConfigurationError, PartitionError, ReproError
+from ..obs.events import EV_FAULT
 from ..sim.engine import PeriodicTask
 from .aq import AugmentedQueue
 from .feedback import FeedbackPolicy, drop_policy  # noqa: F401 (from_dict)
@@ -111,6 +112,57 @@ class AqGrant:
     aq: AugmentedQueue
 
 
+@dataclass
+class DegradedWindow:
+    """One interval during which a granted AQ had no data-plane presence.
+
+    Opened when a switch restart wipes the AQ's register state, closed
+    when the controller's redeploy lands. While a window is open the
+    grant's guarantee is explicitly *degraded*: the entity's traffic
+    passes unpoliced (or not at all, if the restart also blackholed it),
+    and the run report must not treat the granted rate as enforced.
+    """
+
+    aq_id: int
+    entity: str
+    switch: str
+    position: str
+    start: float
+    end: Optional[float] = None
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "aq_id": self.aq_id,
+            "entity": self.entity,
+            "switch": self.switch,
+            "position": self.position,
+            "start": self.start,
+            "end": self.end,
+        }
+
+
+@dataclass
+class _LostDeployment:
+    """Everything needed to rebuild one wiped AQ deployment."""
+
+    aq_id: int
+    position: str
+    rate_bps: float
+    limit_bytes: float
+    policy: FeedbackPolicy
+    entity: str
+    record_delays: bool
+    window: DegradedWindow
+
+
 class _ShareGroup:
     """Book-keeping for one contended resource (usually one link)."""
 
@@ -144,12 +196,30 @@ class AqController:
         # tag packets with grant.aq_id; read grant.aq.stats afterwards
     """
 
+    #: Delay before the first post-restart redeploy attempt (a control-plane
+    #: round trip), the multiplier applied between attempts, and the attempt
+    #: cap — bounded retry with exponential backoff.
+    REDEPLOY_DELAY_S = 1e-3
+    REDEPLOY_BACKOFF = 2.0
+    REDEPLOY_MAX_ATTEMPTS = 6
+
     def __init__(self, network) -> None:
         self.network = network
         self._pipelines: Dict[str, AqPipeline] = {}
         self._groups: Dict[str, _ShareGroup] = {}
         self._grants: Dict[int, AqGrant] = {}
         self._next_aq_id = 0
+        #: True while a controller_partition fault is active: every push
+        #: to the data plane (deploy/redeploy) fails until the heal.
+        self.partitioned = False
+        #: Closed and still-open degraded-guarantee intervals, in order.
+        self.degraded_windows: List[DegradedWindow] = []
+        #: Deployments lost to a restart and not yet redeployed, by switch.
+        self._pending_redeploy: Dict[str, List[_LostDeployment]] = {}
+        # Observe injected faults (switch restarts, partitions). The
+        # listener list is only walked by a fault injector, so fault-free
+        # runs never execute this path.
+        network.sim.add_fault_listener(self._on_fault)
 
     # -- resources ---------------------------------------------------------------
 
@@ -174,6 +244,8 @@ class AqController:
 
     def request(self, req: AqRequest) -> AqGrant:
         """Grant or decline one AQ request (Section 4.1 "AQ grants")."""
+        if self.partitioned:
+            raise PartitionError("controller is partitioned from the network")
         group = self._groups.get(req.share_group)
         if group is None:
             raise ConfigurationError(
@@ -200,6 +272,10 @@ class AqController:
         self._grants[aq.aq_id] = grant
         if req.is_weighted:
             group.weighted_grants.append(grant)
+            self._rebalance_weights(group)
+        elif group.weighted_grants:
+            # An absolute carve-out shrinks the weighted pool; the
+            # existing weighted grants must give the bandwidth back.
             self._rebalance_weights(group)
         return grant
 
@@ -240,32 +316,206 @@ class AqController:
 
     def withdraw_path(self, grants: List[AqGrant]) -> None:
         """Undo :meth:`request_path`: remove the secondary deployments,
-        then release the primary grant."""
+        then release the primary grant.
+
+        Robust against partial failure: every secondary is attempted even
+        if one raises, and the primary's capacity is always released, so
+        a withdraw that trips halfway cannot strand committed bandwidth
+        or stale weight in the share group. The first error (if any) is
+        re-raised after the books are settled. Idempotent: re-running the
+        same sequence is a no-op.
+        """
+        if not grants:
+            return
+        first_error: Optional[ReproError] = None
         for grant in grants[1:]:
+            try:
+                self.pipeline(grant.request.switch).withdraw(
+                    grant.aq_id, grant.request.position
+                )
+            except ReproError as exc:
+                if first_error is None:
+                    first_error = exc
+        self.withdraw(grants[0])
+        if first_error is not None:
+            raise first_error
+
+    def withdraw(self, grant: AqGrant) -> None:
+        """Remove a granted AQ from the data plane and release its rate.
+
+        Idempotent, and safe to call with a *secondary* path grant (one
+        returned by :meth:`request_path` beyond the first): secondaries
+        share the primary's AQ ID but hold no capacity of their own, so
+        only their switch deployment is removed — the primary's admission
+        stays booked until the primary itself is withdrawn.
+        """
+        if self.partitioned:
+            raise PartitionError("controller is partitioned from the network")
+        stored = self._grants.get(grant.aq_id)
+        if stored is not None and stored is not grant:
+            # A secondary deployment riding on the primary's ID.
             self.pipeline(grant.request.switch).withdraw(
                 grant.aq_id, grant.request.position
             )
-        if grants:
-            self.withdraw(grants[0])
-
-    def withdraw(self, grant: AqGrant) -> None:
-        """Remove a granted AQ from the data plane and release its rate."""
+            return
         stored = self._grants.pop(grant.aq_id, None)
         if stored is None:
+            # Already released (repeated withdraw) — or a secondary whose
+            # primary is gone. Clearing this grant's own deployment keeps
+            # both cases idempotent without touching the books twice.
+            self.pipeline(grant.request.switch).withdraw(
+                grant.aq_id, grant.request.position
+            )
             return
-        req = grant.request
-        self.pipeline(req.switch).withdraw(grant.aq_id, req.position)
+        req = stored.request
+        self.pipeline(req.switch).withdraw(stored.aq_id, req.position)
         group = self._groups[req.share_group]
         if req.is_weighted:
-            group.weighted_grants = [
-                g for g in group.weighted_grants if g.aq_id != grant.aq_id
-            ]
-            self._rebalance_weights(group)
+            remaining = [g for g in group.weighted_grants if g is not stored]
+            if len(remaining) != len(group.weighted_grants):
+                group.weighted_grants = remaining
+                self._rebalance_weights(group)
         else:
             group.absolute_committed_bps -= req.absolute_rate_bps
+            if group.weighted_grants:
+                # The weighted pool just grew by the released carve-out;
+                # without a rebalance the weighted AQs would keep their
+                # stale (smaller) rates indefinitely.
+                self._rebalance_weights(group)
 
     def grant_for(self, aq_id: int) -> Optional[AqGrant]:
         return self._grants.get(aq_id)
+
+    # -- fault recovery -------------------------------------------------------------
+
+    def snapshot(self) -> List[dict]:
+        """JSON-able view of all granted state — what the controller would
+        persist so grants survive its own crash. Redeploy-on-restart works
+        from the live equivalent of exactly this state."""
+        return [
+            {
+                "aq_id": grant.aq_id,
+                "rate_bps": grant.aq.rate_bps,
+                "request": grant.request.to_dict(),
+            }
+            for grant in self._grants.values()
+        ]
+
+    def partition(self) -> None:
+        """Sever the controller from the data plane (fault injection)."""
+        self.partitioned = True
+
+    def heal(self) -> None:
+        """Restore control-plane connectivity and immediately retry any
+        redeploys that failed while partitioned."""
+        self.partitioned = False
+        for switch_name in list(self._pending_redeploy):
+            self._attempt_redeploy(switch_name, attempt=1)
+
+    def open_degraded_windows(self) -> List[DegradedWindow]:
+        return [w for w in self.degraded_windows if w.open]
+
+    def _on_fault(self, fault_event) -> None:
+        """Fault-listener entry point (registered on the simulator)."""
+        kind = getattr(fault_event, "kind", None)
+        if kind == "switch_restart":
+            self._handle_switch_restart(fault_event.target)
+        elif kind == "controller_partition":
+            self.partition()
+        elif kind == "controller_heal":
+            self.heal()
+
+    def _handle_switch_restart(self, switch_name: str) -> None:
+        """A switch lost its per-AQ registers: open degraded windows for
+        every wiped deployment and schedule bounded-retry redeploy."""
+        pipeline = self._pipelines.get(switch_name)
+        if pipeline is None:
+            return  # we never deployed anything there
+        lost = pipeline.clear()
+        if not lost:
+            return
+        sim = self.network.sim
+        now = sim.now
+        tele = sim.telemetry
+        pending = self._pending_redeploy.setdefault(switch_name, [])
+        for aq, position in lost:
+            window = DegradedWindow(
+                aq_id=aq.aq_id, entity=aq.entity, switch=switch_name,
+                position=position, start=now,
+            )
+            self.degraded_windows.append(window)
+            pending.append(_LostDeployment(
+                aq_id=aq.aq_id, position=position, rate_bps=aq.rate_bps,
+                limit_bytes=aq.limit_bytes, policy=aq.policy,
+                entity=aq.entity, record_delays=aq.record_delays,
+                window=window,
+            ))
+            if tele is not None and tele.enabled:
+                tele.trace.emit_fields(
+                    EV_FAULT, now, node=switch_name, aq_id=aq.aq_id,
+                    reason="aq_state_lost",
+                )
+        sim.schedule(self.REDEPLOY_DELAY_S, self._attempt_redeploy, switch_name, 1)
+
+    def _attempt_redeploy(self, switch_name: str, attempt: int) -> None:
+        """One redeploy attempt; reschedules itself with exponential
+        backoff while the controller is partitioned, up to the cap."""
+        pending = self._pending_redeploy.get(switch_name)
+        if not pending:
+            return
+        sim = self.network.sim
+        tele = sim.telemetry
+        if self.partitioned:
+            if attempt >= self.REDEPLOY_MAX_ATTEMPTS:
+                # Give up: the degraded windows stay open, which is the
+                # honest account — the guarantee is not being enforced.
+                if tele is not None and tele.enabled:
+                    tele.trace.emit_fields(
+                        EV_FAULT, sim.now, node=switch_name,
+                        reason="redeploy_abandoned",
+                    )
+                return
+            delay = self.REDEPLOY_DELAY_S * self.REDEPLOY_BACKOFF ** attempt
+            sim.schedule(delay, self._attempt_redeploy, switch_name, attempt + 1)
+            if tele is not None and tele.enabled:
+                tele.trace.emit_fields(
+                    EV_FAULT, sim.now, node=switch_name, value=float(attempt),
+                    reason="redeploy_retry",
+                )
+            return
+        now = sim.now
+        pipeline = self.pipeline(switch_name)
+        touched_groups = set()
+        for item in self._pending_redeploy.pop(switch_name):
+            aq = AugmentedQueue(
+                aq_id=item.aq_id,
+                rate_bps=item.rate_bps,
+                limit_bytes=item.limit_bytes,
+                policy=item.policy,
+                start_time=now,
+                record_delays=item.record_delays,
+                entity=item.entity,
+                telemetry=sim.telemetry,
+            )
+            pipeline.deploy(aq, item.position)
+            item.window.end = now
+            grant = self._grants.get(item.aq_id)
+            if grant is not None and grant.request.switch == switch_name:
+                # Swap the primary grant onto the fresh AQ so future rate
+                # updates (weighted rebalance) reach the live deployment.
+                grant.aq = aq
+                if grant.request.is_weighted:
+                    touched_groups.add(grant.request.share_group)
+            if tele is not None and tele.enabled:
+                tele.trace.emit_fields(
+                    EV_FAULT, now, node=switch_name, aq_id=item.aq_id,
+                    value=float(attempt), reason="redeploy",
+                )
+        for group_name in touched_groups:
+            group = self._groups[group_name]
+            if group.allocator is not None:
+                group.allocator.note_redeploy()
+            self._rebalance_weights(group)
 
     # -- admission helpers ----------------------------------------------------------
 
@@ -353,6 +603,12 @@ class WeightedAllocator:
     def stop(self) -> None:
         self._task.stop()
 
+    def note_redeploy(self) -> None:
+        """Forget per-AQ arrival baselines: a redeployed AQ starts from
+        zero arrived bytes, so stale baselines would read as negative
+        rates and misclassify active senders as idle."""
+        self._last_arrived.clear()
+
     def rebalance_now(self) -> None:
         """Re-run allocation immediately (called on membership changes)."""
         self._tick(first_classification=True)
@@ -362,7 +618,9 @@ class WeightedAllocator:
         for grant in self.group.weighted_grants:
             arrived = grant.aq.stats.arrived_bytes
             last = self._last_arrived.get(grant.aq_id, 0)
-            rates[grant.aq_id] = (arrived - last) * 8.0 / self.interval
+            # Clamped: a restart-redeployed AQ restarts its byte counter,
+            # and a negative "rate" must not park an active sender.
+            rates[grant.aq_id] = max(0.0, (arrived - last) * 8.0 / self.interval)
             self._last_arrived[grant.aq_id] = arrived
         return rates
 

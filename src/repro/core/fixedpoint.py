@@ -19,6 +19,7 @@ which is the fidelity argument for the float model used by the simulator.
 
 from __future__ import annotations
 
+import math
 from typing import Tuple
 
 from ..errors import ConfigurationError
@@ -43,6 +44,16 @@ def encode_rate(rate_bytes_per_s: float) -> Tuple[int, int]:
     Rounds to the nearest representable value; raises for rates outside
     the paper's supported range.
     """
+    if not math.isfinite(rate_bytes_per_s):
+        raise ConfigurationError(
+            f"rate must be a finite number, got {rate_bytes_per_s!r}"
+        )
+    if rate_bytes_per_s <= 0:
+        raise ConfigurationError(
+            f"rate must be positive, got {rate_bytes_per_s:.3g} B/s "
+            "(a zero-rate AQ would make the drain term and the virtual "
+            "delay division meaningless)"
+        )
     if not MIN_RATE_BYTES_PER_S <= rate_bytes_per_s <= MAX_RATE_BYTES_PER_S:
         raise ConfigurationError(
             f"rate {rate_bytes_per_s:.3g} B/s outside the 3-byte field's "
@@ -53,7 +64,13 @@ def encode_rate(rate_bytes_per_s: float) -> Tuple[int, int]:
     while value > _MANTISSA_MAX:
         value /= 2.0
         exponent += 1
-    return int(round(value)), exponent
+    mantissa = int(round(value))
+    if mantissa > _MANTISSA_MAX:
+        # Rounding at the top of the mantissa range would silently wrap the
+        # 16-bit field in hardware; renormalize into the next exponent.
+        mantissa >>= 1
+        exponent += 1
+    return mantissa, exponent
 
 
 def decode_rate(mantissa: int, exponent: int) -> int:
@@ -66,7 +83,13 @@ def decode_rate(mantissa: int, exponent: int) -> int:
 
 
 def rate_quantization_error(rate_bytes_per_s: float) -> float:
-    """Relative error introduced by the 3-byte encoding (< 2^-16)."""
+    """Relative error introduced by the 3-byte encoding (<= 2^-16)."""
+    if not math.isfinite(rate_bytes_per_s) or rate_bytes_per_s <= 0:
+        # encode_rate would reject these too, but guard explicitly so the
+        # relative-error division below can never divide by zero.
+        raise ConfigurationError(
+            f"quantization error undefined for rate {rate_bytes_per_s!r} B/s"
+        )
     mantissa, exponent = encode_rate(rate_bytes_per_s)
     return abs(decode_rate(mantissa, exponent) - rate_bytes_per_s) / rate_bytes_per_s
 
@@ -113,4 +136,12 @@ class FixedPointAGap:
 
     def virtual_queuing_delay_ns(self) -> int:
         """``gap / rate`` in integer nanoseconds (the piggybacked value)."""
-        return self.gap_bytes * NS_PER_S // self.rate_bytes_per_s
+        rate = self.rate_bytes_per_s
+        if rate <= 0:
+            # encode_rate forbids zero rates, but the registers could be
+            # poked directly (e.g. a wiped switch); fail loudly rather
+            # than dividing by zero.
+            raise ConfigurationError(
+                "virtual queuing delay undefined for a zero-rate AQ"
+            )
+        return self.gap_bytes * NS_PER_S // rate

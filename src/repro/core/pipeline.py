@@ -47,6 +47,16 @@ class AqPipeline:
     def withdraw(self, aq_id: int, position: str) -> None:
         self._table(position).pop(aq_id, None)
 
+    def clear(self) -> "list[tuple[AugmentedQueue, str]]":
+        """Wipe both match tables (a switch restart losing the per-AQ
+        registers), returning the lost ``(aq, position)`` deployments so
+        the controller can redeploy them from its granted-state snapshot."""
+        lost = [(aq, INGRESS) for aq in self._ingress.values()]
+        lost += [(aq, EGRESS) for aq in self._egress.values()]
+        self._ingress.clear()
+        self._egress.clear()
+        return lost
+
     def lookup(self, aq_id: int, position: str) -> Optional[AugmentedQueue]:
         return self._table(position).get(aq_id)
 

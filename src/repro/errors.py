@@ -29,3 +29,12 @@ class AdmissionError(ReproError):
 
 class TransportError(ReproError):
     """A transport endpoint was driven into an invalid state."""
+
+
+class FaultPlanError(ConfigurationError):
+    """A fault plan is malformed (unknown kind, bad times, missing target)."""
+
+
+class PartitionError(ReproError):
+    """A control-plane operation was attempted while the controller is
+    partitioned from the network (fault injection)."""

@@ -1,0 +1,48 @@
+"""Fault injection & recovery (the robustness layer).
+
+Deterministic, seedable fault schedules (:class:`FaultPlan`) drive link
+flaps, switch restarts that wipe per-AQ register state, controller
+partitions, and on-link packet corruption through a live simulation via
+the :class:`FaultInjector`. The controller's recovery path
+(:mod:`repro.core.controller`) redeploys wiped AQ state with bounded
+retry/backoff and accounts every interval of missing enforcement as an
+explicit :class:`~repro.core.controller.DegradedWindow`.
+
+See ``docs/FAULTS.md`` for the plan schema and recovery semantics.
+"""
+
+from .injector import FaultInjector, activate_fault_plan, get_active_fault_plan
+from .plan import (
+    CONTROLLER_KINDS,
+    FAULT_KINDS,
+    KIND_CONTROLLER_HEAL,
+    KIND_CONTROLLER_PARTITION,
+    KIND_LINK_DOWN,
+    KIND_LINK_UP,
+    KIND_PACKET_CORRUPTION,
+    KIND_SWITCH_RESTART,
+    LINK_KINDS,
+    FaultEvent,
+    FaultPlan,
+    link_blackout_plan,
+    switch_restart_plan,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "FAULT_KINDS",
+    "LINK_KINDS",
+    "CONTROLLER_KINDS",
+    "KIND_LINK_DOWN",
+    "KIND_LINK_UP",
+    "KIND_SWITCH_RESTART",
+    "KIND_CONTROLLER_PARTITION",
+    "KIND_CONTROLLER_HEAL",
+    "KIND_PACKET_CORRUPTION",
+    "activate_fault_plan",
+    "get_active_fault_plan",
+    "switch_restart_plan",
+    "link_blackout_plan",
+]

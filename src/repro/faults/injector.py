@@ -1,0 +1,139 @@
+"""Applying a :class:`~repro.faults.plan.FaultPlan` to a live network.
+
+The :class:`FaultInjector` schedules every plan event on the network's
+simulator at arm time and resolves targets *lazily* — by name, at fire
+time — so a plan can be activated before the topology is built (the CLI
+activates the plan ambiently, then the scenario constructs its own
+:class:`~repro.topology.base.Network`, which arms an injector on itself).
+
+Each applied fault:
+
+* emits an :data:`~repro.obs.events.EV_FAULT` trace event (so the fault
+  window is first-class in telemetry, flight records, and the
+  conservation auditor),
+* mutates the target component (link down/up/corrupting, switch queue
+  drain), and
+* is broadcast through :meth:`Simulator.notify_fault
+  <repro.sim.engine.Simulator.add_fault_listener>` — which is how the
+  :class:`~repro.core.controller.AqController` learns that a restart
+  wiped its deployments and starts its bounded-retry redeploy.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional
+
+from ..errors import FaultPlanError
+from ..obs.events import EV_FAULT
+from .plan import (
+    KIND_CONTROLLER_HEAL,
+    KIND_CONTROLLER_PARTITION,
+    KIND_LINK_DOWN,
+    KIND_LINK_UP,
+    KIND_PACKET_CORRUPTION,
+    KIND_SWITCH_RESTART,
+    FaultEvent,
+    FaultPlan,
+)
+
+#: Module-global ambient fault plan; see :func:`activate_fault_plan`.
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+
+
+def get_active_fault_plan() -> Optional[FaultPlan]:
+    """The ambient plan installed by :func:`activate_fault_plan`, if any."""
+    return _ACTIVE_PLAN
+
+
+@contextlib.contextmanager
+def activate_fault_plan(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` as the ambient fault plan: every
+    :class:`~repro.topology.base.Network` built inside the ``with`` block
+    arms a :class:`FaultInjector` for it. Mirrors
+    :meth:`repro.obs.Telemetry.activate`; nesting restores the previous
+    ambient value."""
+    global _ACTIVE_PLAN
+    previous = _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE_PLAN = previous
+
+
+class FaultInjector:
+    """Schedules and applies one plan's faults on one network."""
+
+    def __init__(self, plan: FaultPlan, network) -> None:
+        self.plan = plan
+        self.network = network
+        self.sim = network.sim
+        self._rng = plan.make_rng()
+        self._armed = False
+        #: Events applied so far, in application order (for reports/tests).
+        self.applied: List[FaultEvent] = []
+
+    def arm(self) -> None:
+        """Schedule every plan event on the simulator. Idempotent."""
+        if self._armed:
+            return
+        self._armed = True
+        for event in self.plan.events:
+            self.sim.schedule_at(event.time, self._apply, event)
+
+    # -- application -----------------------------------------------------------
+
+    def _apply(self, event: FaultEvent) -> None:
+        kind = event.kind
+        value: Optional[float] = None
+        if kind == KIND_LINK_DOWN:
+            self._link(event.target).set_down()
+        elif kind == KIND_LINK_UP:
+            self._link(event.target).set_up()
+        elif kind == KIND_PACKET_CORRUPTION:
+            link = self._link(event.target)
+            link.set_corruption(event.probability, self._rng)
+            if event.duration is not None:
+                self.sim.schedule(event.duration, self._end_corruption, event.target)
+            value = event.probability
+        elif kind == KIND_SWITCH_RESTART:
+            switch = self.network.switches.get(event.target)
+            if switch is None:
+                raise FaultPlanError(f"unknown switch {event.target!r}")
+            info = switch.restart()
+            value = float(info["drained_bytes"])
+        # Controller kinds carry no data-plane action of their own: the
+        # notify below is the whole fault.
+        self._emit(event, value)
+        self.sim.notify_fault(event)
+        self.applied.append(event)
+
+    def _end_corruption(self, target: str) -> None:
+        self._link(target).clear_corruption()
+        self._emit(
+            FaultEvent(time=self.sim.now, kind=KIND_LINK_UP, target=target),
+            None,
+            reason="corruption_end",
+        )
+
+    def _link(self, name: str):
+        link = self.network.links.get(name)
+        if link is None:
+            raise FaultPlanError(
+                f"unknown link {name!r}; known: {sorted(self.network.links)}"
+            )
+        return link
+
+    def _emit(
+        self, event: FaultEvent, value: Optional[float], reason: Optional[str] = None
+    ) -> None:
+        tele = self.sim.telemetry
+        if tele is not None and tele.enabled:
+            tele.trace.emit_fields(
+                EV_FAULT,
+                self.sim.now,
+                node=event.target if event.target is not None else "controller",
+                value=value,
+                reason=reason or event.kind,
+            )

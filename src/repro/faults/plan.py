@@ -1,0 +1,212 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` is an ordered list of timed :class:`FaultEvent`\\ s
+plus a seed for any randomized fault behaviour (packet corruption draws
+from one ``random.Random(seed)`` shared by the whole plan, so a plan
+replays bit-identically). Plans are plain JSON on disk::
+
+    {
+      "schema": "fault-plan/1",
+      "seed": 7,
+      "events": [
+        {"time": 0.010, "kind": "link_down",      "target": "s0->h2"},
+        {"time": 0.014, "kind": "link_up",        "target": "s0->h2"},
+        {"time": 0.020, "kind": "switch_restart", "target": "s0"},
+        {"time": 0.018, "kind": "controller_partition"},
+        {"time": 0.025, "kind": "controller_heal"},
+        {"time": 0.030, "kind": "packet_corruption", "target": "h0->s0",
+         "probability": 0.01, "duration": 0.005}
+      ]
+    }
+
+``target`` names a :class:`~repro.net.link.Link` (``"src->dst"``) for the
+link kinds or a switch for ``switch_restart``; the controller kinds take
+no target. Semantics are documented in ``docs/FAULTS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import FaultPlanError
+
+#: The JSON schema tag written/accepted by :meth:`FaultPlan.to_dict`.
+SCHEMA = "fault-plan/1"
+
+KIND_LINK_DOWN = "link_down"
+KIND_LINK_UP = "link_up"
+KIND_SWITCH_RESTART = "switch_restart"
+KIND_CONTROLLER_PARTITION = "controller_partition"
+KIND_CONTROLLER_HEAL = "controller_heal"
+KIND_PACKET_CORRUPTION = "packet_corruption"
+
+#: Every fault kind a plan may schedule.
+FAULT_KINDS = (
+    KIND_LINK_DOWN,
+    KIND_LINK_UP,
+    KIND_SWITCH_RESTART,
+    KIND_CONTROLLER_PARTITION,
+    KIND_CONTROLLER_HEAL,
+    KIND_PACKET_CORRUPTION,
+)
+
+#: Kinds whose ``target`` is a link name (``"src->dst"``).
+LINK_KINDS = (KIND_LINK_DOWN, KIND_LINK_UP, KIND_PACKET_CORRUPTION)
+#: Kinds that address the controller and therefore take no target.
+CONTROLLER_KINDS = (KIND_CONTROLLER_PARTITION, KIND_CONTROLLER_HEAL)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault."""
+
+    time: float
+    kind: str
+    target: Optional[str] = None
+    #: Per-packet drop probability (``packet_corruption`` only).
+    probability: Optional[float] = None
+    #: How long corruption stays active; ``None`` means until end of run.
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.time, (int, float)) or not math.isfinite(self.time):
+            raise FaultPlanError(f"fault time must be finite, got {self.time!r}")
+        if self.time < 0:
+            raise FaultPlanError(f"fault time must be >= 0, got {self.time}")
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.kind in CONTROLLER_KINDS:
+            if self.target is not None:
+                raise FaultPlanError(f"{self.kind} takes no target")
+        elif not self.target:
+            raise FaultPlanError(f"{self.kind} requires a target")
+        if self.kind == KIND_PACKET_CORRUPTION:
+            if self.probability is None or not 0.0 < self.probability <= 1.0:
+                raise FaultPlanError(
+                    "packet_corruption needs a probability in (0, 1], got "
+                    f"{self.probability!r}"
+                )
+            if self.duration is not None and self.duration <= 0:
+                raise FaultPlanError(
+                    f"corruption duration must be positive, got {self.duration}"
+                )
+        elif self.probability is not None or self.duration is not None:
+            raise FaultPlanError(
+                f"{self.kind} takes neither probability nor duration"
+            )
+
+    def to_dict(self) -> dict:
+        out: dict = {"time": self.time, "kind": self.kind}
+        if self.target is not None:
+            out["target"] = self.target
+        if self.probability is not None:
+            out["probability"] = self.probability
+        if self.duration is not None:
+            out["duration"] = self.duration
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        try:
+            time = data["time"]
+            kind = data["kind"]
+        except KeyError as exc:
+            raise FaultPlanError(f"fault event missing field {exc}") from None
+        unknown = set(data) - {"time", "kind", "target", "probability", "duration"}
+        if unknown:
+            raise FaultPlanError(f"unknown fault event fields {sorted(unknown)}")
+        return cls(
+            time=time,
+            kind=kind,
+            target=data.get("target"),
+            probability=data.get("probability"),
+            duration=data.get("duration"),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A seedable, deterministic schedule of faults for one run."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Stable order for application and display: sort by time only, so
+        # simultaneous faults keep their authored order.
+        self.events = sorted(self.events, key=lambda event: event.time)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def make_rng(self) -> random.Random:
+        """The plan's private RNG (packet-corruption draws)."""
+        return random.Random(self.seed)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        schema = data.get("schema", SCHEMA)
+        if schema != SCHEMA:
+            raise FaultPlanError(f"unsupported fault-plan schema {schema!r}")
+        events_raw = data.get("events")
+        if not isinstance(events_raw, list):
+            raise FaultPlanError("fault plan needs an 'events' list")
+        seed = data.get("seed", 0)
+        if not isinstance(seed, int):
+            raise FaultPlanError(f"seed must be an integer, got {seed!r}")
+        return cls(
+            events=[FaultEvent.from_dict(item) for item in events_raw],
+            seed=seed,
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FaultPlanError(f"cannot read fault plan {path!r}: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_file(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def switch_restart_plan(switch: str, at: float, seed: int = 0) -> FaultPlan:
+    """The canonical one-event plan: restart ``switch`` at time ``at``."""
+    return FaultPlan(
+        events=[FaultEvent(time=at, kind=KIND_SWITCH_RESTART, target=switch)],
+        seed=seed,
+    )
+
+
+def link_blackout_plan(
+    link: str, down_at: float, up_at: float, seed: int = 0
+) -> FaultPlan:
+    """Take ``link`` down at ``down_at`` and back up at ``up_at``."""
+    if up_at <= down_at:
+        raise FaultPlanError(
+            f"link_up at {up_at} must come after link_down at {down_at}"
+        )
+    return FaultPlan(
+        events=[
+            FaultEvent(time=down_at, kind=KIND_LINK_DOWN, target=link),
+            FaultEvent(time=up_at, kind=KIND_LINK_UP, target=link),
+        ],
+        seed=seed,
+    )

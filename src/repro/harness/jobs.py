@@ -185,6 +185,51 @@ def job_cc_preservation(
     }
 
 
+def job_fault_restart(
+    approach: str, bottleneck_bps: float, duration: float, restart_at: float
+) -> dict:
+    from .scenarios import run_switch_restart
+
+    result = run_switch_restart(
+        approach=approach, bottleneck_bps=bottleneck_bps,
+        duration=duration, warmup=duration / 6, restart_at=restart_at,
+    )
+    return {
+        "approach": result.approach,
+        "fault_at_s": result.fault_at,
+        "share_bps": dict(result.share_bps),
+        "rates_before_bps": dict(result.rates_before_bps),
+        "rates_during_bps": dict(result.rates_during_bps),
+        "rates_after_bps": dict(result.rates_after_bps),
+        "reconvergence_s": dict(result.reconvergence_s),
+        "degraded_windows": list(result.degraded_windows),
+        "restart_stats": dict(result.restart_stats),
+        "recovered": result.recovered(),
+    }
+
+
+def job_link_blackout(
+    down_at: float, up_at: float, approach: str,
+    bottleneck_bps: float, duration: float, warmup: float,
+) -> dict:
+    from ..faults import activate_fault_plan, link_blackout_plan
+    from .scenarios import run_longlived_share
+
+    entities = [
+        EntitySpec(name="A", cc="cubic", num_flows=4),
+        EntitySpec(name="B", cc="cubic", num_flows=4),
+    ]
+    plan = link_blackout_plan("s-left->s-right", down_at, up_at)
+    with activate_fault_plan(plan):
+        result = run_longlived_share(
+            entities, approach,
+            bottleneck_bps=bottleneck_bps, duration=duration, warmup=warmup,
+        )
+    out = _share_dict(result)
+    out["blackout_s"] = up_at - down_at
+    return out
+
+
 def job_engine_bench(bench: str, **scale) -> dict:
     """One engine hot-path micro-benchmark; wall-clock fields go under
     ``"timing"`` so the sweep digest stays parallelism-independent."""
@@ -298,6 +343,24 @@ def default_jobs() -> List[JobSpec]:
                 cc=cc, use_aq=use_aq,
                 allocated_bps=gbps(2.5), capacity_bps=gbps(10),
             ))
+
+    for approach in ("pq", "aq"):
+        specs.append(_spec(
+            f"faults/restart/{approach}", "job_fault_restart",
+            approach=approach, bottleneck_bps=_BOTTLENECK,
+            duration=120e-3, restart_at=50e-3,
+        ))
+    specs.append(_spec(
+        "faults/restart/aq-late", "job_fault_restart",
+        approach="aq", bottleneck_bps=_BOTTLENECK,
+        duration=150e-3, restart_at=90e-3,
+    ))
+    for blackout_ms in (5, 15):
+        specs.append(_spec(
+            f"faults/blackout/{blackout_ms}ms", "job_link_blackout",
+            down_at=30e-3, up_at=(30 + blackout_ms) * 1e-3, approach="aq",
+            bottleneck_bps=_BOTTLENECK, duration=90e-3, warmup=20e-3,
+        ))
 
     for bench in ("timer_churn", "fire_chain", "idle_link", "backlogged_link"):
         specs.append(_spec(f"engine/{bench}", "job_engine_bench", bench=bench))

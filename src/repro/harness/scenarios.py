@@ -8,10 +8,17 @@ scales and print the paper's rows/series; tests call them at tiny scales.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import contextlib
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.controller import AqController, AqRequest
+from ..faults import (
+    FaultPlan,
+    activate_fault_plan,
+    get_active_fault_plan,
+    switch_restart_plan,
+)
 from ..core.feedback import drop_policy, ecn_policy
 from ..errors import ConfigurationError
 from ..ratelimit.elasticswitch import ElasticSwitch, VmProfile
@@ -946,3 +953,231 @@ def run_limit_ablation(
             )
         )
     return results
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: guarantee degradation + re-convergence (docs/FAULTS.md)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FaultRecoveryResult:
+    """Guarantee degradation and re-convergence around a fault window.
+
+    The run is split into three measurement windows: *before* the first
+    fault (post-warmup steady state), *during* (the fault plus the settle
+    interval while transports and the redeployed AQs re-converge), and
+    *after* (post-recovery steady state). ``reconvergence_s`` is, per
+    entity, the delay from the first fault until the throughput series
+    stays within tolerance of the granted share; ``-1.0`` means the
+    entity never re-converged within the run.
+    """
+
+    approach: str
+    bottleneck_bps: float
+    duration: float
+    fault_at: float
+    share_bps: Dict[str, float]
+    rates_before_bps: Dict[str, float]
+    rates_during_bps: Dict[str, float]
+    rates_after_bps: Dict[str, float]
+    reconvergence_s: Dict[str, float]
+    degraded_windows: List[dict] = field(default_factory=list)
+    restart_stats: Dict[str, dict] = field(default_factory=dict)
+    faults_applied: List[dict] = field(default_factory=list)
+    meters: Dict[str, ThroughputMeter] = field(default_factory=dict)
+    env: Optional[SharingEnv] = None
+
+    def recovered(self, tolerance: float = 0.05) -> bool:
+        """Did every entity's post-fault rate return to within
+        ``tolerance`` of its granted (or pre-fault, if lower) rate?"""
+        for name, share in self.share_bps.items():
+            target = min(share, self.rates_before_bps.get(name, share))
+            if self.rates_after_bps.get(name, 0.0) < (1.0 - tolerance) * target:
+                return False
+        return True
+
+    @property
+    def max_reconvergence_s(self) -> float:
+        times = [t for t in self.reconvergence_s.values() if t >= 0]
+        if len(times) < len(self.reconvergence_s):
+            return -1.0  # someone never came back
+        return max(times) if times else 0.0
+
+
+def _reconvergence_time(
+    meter: ThroughputMeter,
+    fault_at: float,
+    target_bps: float,
+    settle_windows: int = 3,
+) -> float:
+    """First post-fault instant after which ``settle_windows`` consecutive
+    meter windows all meet ``target_bps`` (−1.0 if that never happens)."""
+    samples = [(t, bps) for t, bps in meter.samples if t > fault_at]
+    if not samples:
+        return -1.0
+    run = 0
+    for i, (t, bps) in enumerate(samples):
+        if bps >= target_bps:
+            run += 1
+            if run == settle_windows:
+                return samples[i - settle_windows + 1][0] - fault_at
+        else:
+            run = 0
+    return -1.0
+
+
+def run_switch_restart(
+    entities: Optional[Sequence[EntitySpec]] = None,
+    approach: str = AQ,
+    bottleneck_bps: float = gbps(2),
+    duration: float = 120e-3,
+    warmup: float = 20e-3,
+    restart_at: float = 50e-3,
+    seed: int = 1,
+    meter_interval: Optional[float] = None,
+    plan: Optional[FaultPlan] = None,
+    tolerance: float = 0.05,
+    settle: Optional[float] = None,
+) -> FaultRecoveryResult:
+    """The new fault experiment: guarantee degradation and re-convergence
+    after a switch restart wipes every deployed AQ's register state.
+
+    By default the bottleneck switch restarts at ``restart_at``, draining
+    its queues and losing the per-AQ A-Gap registers; the controller's
+    recovery path redeploys them with bounded retry/backoff and accounts
+    the gap as :class:`~repro.core.controller.DegradedWindow`\\ s. A custom
+    ``plan`` (or an ambient one activated by the CLI's ``--faults``)
+    replaces the default single-restart schedule. Example::
+
+        result = run_switch_restart(duration=120e-3, restart_at=50e-3)
+        result.rates_after_bps        # back within 5% of the grant
+        result.max_reconvergence_s    # how long recovery took
+        result.degraded_windows       # the unenforced intervals
+    """
+    if not 0 < warmup < restart_at < duration:
+        raise ConfigurationError(
+            "need 0 < warmup < restart_at < duration, got "
+            f"warmup={warmup} restart_at={restart_at} duration={duration}"
+        )
+    if entities is None:
+        entities = [
+            EntitySpec(name="A", cc="cubic", num_flows=4, weight=1.0),
+            EntitySpec(name="B", cc="cubic", num_flows=4, weight=1.0),
+        ]
+
+    ambient = get_active_fault_plan()
+    if ambient is not None:
+        plan = ambient  # the CLI's --faults wins; don't stack another plan
+        plan_scope = contextlib.nullcontext()
+    else:
+        if plan is None:
+            plan = switch_restart_plan(Dumbbell.LEFT_SWITCH, restart_at, seed=seed)
+        plan_scope = activate_fault_plan(plan)
+    fault_at = min((e.time for e in plan.events), default=restart_at)
+
+    with plan_scope:
+        dumbbell, src_hosts, dst_hosts = _build_dumbbell_for(
+            entities, approach, bottleneck_bps, seed
+        )
+    network = dumbbell.network
+    env = install_sharing(
+        network,
+        Dumbbell.LEFT_SWITCH,
+        bottleneck_bps,
+        entities,
+        approach,
+        src_hosts,
+        dst_hosts,
+    )
+
+    interval = meter_interval if meter_interval is not None else duration / 60.0
+    meters: Dict[str, ThroughputMeter] = {}
+    for spec in entities:
+        meter = ThroughputMeter(network.sim, interval, name=spec.name)
+        meters[spec.name] = meter
+        srcs = src_hosts[spec.name]
+        dsts = dst_hosts[spec.name]
+        ingress_id = env.aq_ingress_id(spec.name)
+        for i in range(spec.num_flows):
+            TcpConnection(
+                network,
+                srcs[i % len(srcs)],
+                dsts[i % len(dsts)],
+                env.make_cc(spec.name),
+                size_bytes=None,
+                start_time=spec.start_time,
+                aq_ingress_id=ingress_id,
+                on_deliver=meter.add,
+            )
+
+    network.run(until=duration)
+    for meter in meters.values():
+        meter.stop()
+
+    # The degraded window itself is short (one redeploy backoff step);
+    # transports need longer to refill the pipe, so give them half the
+    # remaining run (or the caller's ``settle``) before measuring the
+    # post-recovery steady state.
+    settle_s = settle if settle is not None else (duration - fault_at) / 2.0
+    post_start = min(fault_at + settle_s, duration)
+
+    rates_before = {
+        spec.name: meters[spec.name].mean_rate(after=warmup, before=fault_at)
+        for spec in entities
+    }
+    rates_during = {
+        spec.name: meters[spec.name].mean_rate(after=fault_at, before=post_start)
+        for spec in entities
+    }
+    rates_after = {
+        spec.name: meters[spec.name].mean_rate(after=post_start, before=duration)
+        for spec in entities
+    }
+    reconvergence = {
+        spec.name: _reconvergence_time(
+            meters[spec.name],
+            fault_at,
+            (1.0 - tolerance)
+            * min(env.share_bps[spec.name], rates_before[spec.name] or
+                  env.share_bps[spec.name]),
+        )
+        for spec in entities
+    }
+
+    degraded = (
+        [w.to_dict() for w in env.controller.degraded_windows]
+        if env.controller is not None
+        else []
+    )
+    restart_stats = {
+        name: {
+            "restarts": sw.stats.restarts,
+            "drained_packets": sw.stats.restart_drained_packets,
+            "drained_bytes": sw.stats.restart_drained_bytes,
+        }
+        for name, sw in network.switches.items()
+        if sw.stats.restarts
+    }
+    applied = (
+        [e.to_dict() for e in network.fault_injector.applied]
+        if network.fault_injector is not None
+        else []
+    )
+
+    return FaultRecoveryResult(
+        approach=approach,
+        bottleneck_bps=bottleneck_bps,
+        duration=duration,
+        fault_at=fault_at,
+        share_bps=dict(env.share_bps),
+        rates_before_bps=rates_before,
+        rates_during_bps=rates_during,
+        rates_after_bps=rates_after,
+        reconvergence_s=reconvergence,
+        degraded_windows=degraded,
+        restart_stats=restart_stats,
+        faults_applied=applied,
+        meters=meters,
+        env=env,
+    )

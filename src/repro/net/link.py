@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ..errors import ConfigurationError
+from ..obs.events import EV_DROP
 from ..units import transmission_time
 from .packet import Packet
 
@@ -24,12 +25,22 @@ PipelineHook = Callable[[Packet, float], bool]
 class LinkStats:
     """Delivery counters for one simplex link."""
 
-    __slots__ = ("delivered_packets", "delivered_bytes", "busy_time")
+    __slots__ = (
+        "delivered_packets",
+        "delivered_bytes",
+        "busy_time",
+        "dropped_packets",
+        "dropped_bytes",
+        "corrupted_packets",
+    )
 
     def __init__(self) -> None:
         self.delivered_packets = 0
         self.delivered_bytes = 0
         self.busy_time = 0.0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.corrupted_packets = 0
 
     def utilization(self, duration: float) -> float:
         """Fraction of ``duration`` the line spent serializing packets."""
@@ -41,7 +52,18 @@ class LinkStats:
 class Link:
     """A simplex wire: fixed rate, fixed propagation delay, one receiver."""
 
-    __slots__ = ("sim", "rate_bps", "prop_delay", "_handler", "name", "stats")
+    __slots__ = (
+        "sim",
+        "rate_bps",
+        "prop_delay",
+        "_handler",
+        "name",
+        "stats",
+        "_faulted",
+        "_down",
+        "_corrupt_prob",
+        "_corrupt_rng",
+    )
 
     def __init__(
         self,
@@ -61,6 +83,13 @@ class Link:
         self._handler = handler
         self.name = name
         self.stats = LinkStats()
+        # Fault-injection state. ``_faulted`` is the single cached flag the
+        # delivery hot path checks; it is True only while the link is down
+        # or corrupting, so fault-free runs pay one branch per delivery.
+        self._faulted = False
+        self._down = False
+        self._corrupt_prob = 0.0
+        self._corrupt_rng = None
         tele = sim.telemetry
         if tele is not None and tele.enabled and name:
             tele.metrics.add_collector(self._collect_metrics)
@@ -74,9 +103,80 @@ class Link:
             stats.delivered_bytes
         )
         registry.gauge("link_busy_time_s", link=self.name).set(stats.busy_time)
+        registry.counter("link_dropped_packets", link=self.name).set(
+            stats.dropped_packets
+        )
+
+    # -- fault injection -------------------------------------------------------
+
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    def set_down(self) -> None:
+        """Take the link down: every delivery attempt is dropped until
+        :meth:`set_up`. Packets already handed to the remote handler's
+        event are unaffected (they were on the far side of the wire)."""
+        self._down = True
+        self._faulted = True
+
+    def set_up(self) -> None:
+        """Bring the link back; corruption (if configured) stays active."""
+        self._down = False
+        self._faulted = self._corrupt_rng is not None
+
+    def set_corruption(self, probability: float, rng) -> None:
+        """Corrupt (drop) each delivered packet with ``probability``,
+        drawing from ``rng`` — the fault plan's seeded generator, so runs
+        are reproducible."""
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"corruption probability must be in [0, 1], got {probability}"
+            )
+        self._corrupt_prob = probability
+        self._corrupt_rng = rng if probability > 0.0 else None
+        self._faulted = self._down or self._corrupt_rng is not None
+
+    def clear_corruption(self) -> None:
+        self._corrupt_prob = 0.0
+        self._corrupt_rng = None
+        self._faulted = self._down
+
+    def _fault_drop(self, packet: Packet) -> bool:
+        """Slow path behind the ``_faulted`` flag: decide and account the
+        loss. Returns ``True`` when the packet must not be delivered."""
+        if self._down:
+            reason = "link_down"
+        elif (
+            self._corrupt_rng is not None
+            and self._corrupt_rng.random() < self._corrupt_prob
+        ):
+            reason = "corrupt"
+        else:
+            return False
+        now = self.sim.now
+        stats = self.stats
+        stats.dropped_packets += 1
+        stats.dropped_bytes += packet.size
+        if reason == "corrupt":
+            stats.corrupted_packets += 1
+        node = self.name or "link"
+        tele = self.sim.telemetry
+        if tele is not None and tele.enabled:
+            tele.trace.emit_fields(
+                EV_DROP, now, node=node, flow_id=packet.flow_id,
+                size=packet.size, reason=reason,
+            )
+            fr = tele.flightrec
+            if fr is not None and packet.flight is not None:
+                fr.drop_hop(packet, node, now, reason)
+                fr.complete(packet, now, "dropped", node=node)
+        return True
 
     def deliver(self, packet: Packet) -> None:
         """Deliver a fully-serialized packet after propagation delay."""
+        if self._faulted and self._fault_drop(packet):
+            return
         self.stats.delivered_packets += 1
         self.stats.delivered_bytes += packet.size
         self.sim.schedule_fire(self.prop_delay, self._handler, packet)
@@ -85,6 +185,8 @@ class Link:
         """Hand ``packet`` to the receiver immediately (the propagation
         delay has already been folded into the caller's event time — the
         transmitter's idle-line fast path)."""
+        if self._faulted and self._fault_drop(packet):
+            return
         self.stats.delivered_packets += 1
         self.stats.delivered_bytes += packet.size
         self._handler(packet)

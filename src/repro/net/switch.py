@@ -45,6 +45,9 @@ class SwitchStats:
         "forwarded_packets",
         "ingress_dropped_packets",
         "queue_dropped_packets",
+        "restarts",
+        "restart_drained_packets",
+        "restart_drained_bytes",
     )
 
     def __init__(self) -> None:
@@ -52,6 +55,9 @@ class SwitchStats:
         self.forwarded_packets = 0
         self.ingress_dropped_packets = 0
         self.queue_dropped_packets = 0
+        self.restarts = 0
+        self.restart_drained_packets = 0
+        self.restart_drained_bytes = 0
 
 
 class Switch:
@@ -126,6 +132,34 @@ class Switch:
 
     def add_tap(self, tap: Callable[[Packet], None]) -> None:
         self.taps.append(tap)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def restart(self) -> dict:
+        """Power-cycle the switch: every port queue's backlog is lost.
+
+        Buffered packets are drained as drops attributed to
+        ``"switch_restart"`` (so the conservation auditor charges them to
+        the fault window, not to a ledger error). The per-AQ register
+        state lives in the controller-owned pipeline hooks; wiping and
+        redeploying it is the fault injector's job, since the switch has
+        no handle on the control plane.
+        """
+        now = self.sim.now
+        drained_packets = 0
+        drained_bytes = 0
+        for port in self.ports.values():
+            for packet in port.queue.drain(now, "switch_restart"):
+                drained_packets += 1
+                drained_bytes += packet.size
+        stats = self.stats
+        stats.restarts += 1
+        stats.restart_drained_packets += drained_packets
+        stats.restart_drained_bytes += drained_bytes
+        return {
+            "drained_packets": drained_packets,
+            "drained_bytes": drained_bytes,
+        }
 
     # -- data path ------------------------------------------------------------------
 

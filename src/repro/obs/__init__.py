@@ -23,9 +23,11 @@ from .events import (
     EV_DROP,
     EV_ECN_MARK,
     EV_ENQUEUE,
+    EV_FAULT,
     EV_GATE,
     EV_HOST_SEND,
     EV_RATE_LIMIT,
+    FAULT_EVENT_TYPES,
     TraceEvent,
 )
 from .flightrec import (
@@ -53,6 +55,8 @@ __all__ = [
     "ALL_EVENT_TYPES",
     "AUDIT_EVENT_TYPES",
     "CORE_EVENT_TYPES",
+    "FAULT_EVENT_TYPES",
+    "EV_FAULT",
     "EV_AGAP_UPDATE",
     "EV_AQ_RATE",
     "EV_CWND_CHANGE",

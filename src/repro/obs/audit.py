@@ -59,12 +59,20 @@ from .events import (
     EV_DEQUEUE,
     EV_DROP,
     EV_ENQUEUE,
+    EV_FAULT,
     EV_GATE,
     EV_HOST_SEND,
     EV_RATE_LIMIT,
     TraceEvent,
 )
 from .tracebus import TraceSink
+
+#: Drop reasons that attribute a loss to an injected fault rather than a
+#: data-plane decision. ``switch_restart`` drops are queue drains — the
+#: packets were already enqueued, so the derived backlog must shrink with
+#: them; the on-wire reasons never touched a queue ledger.
+FAULT_DROP_REASONS = ("switch_restart", "link_down", "corrupt")
+_POST_ENQUEUE_FAULT_REASONS = ("switch_restart",)
 
 #: Bytes of slack allowed between reported and derived queue backlogs
 #: (queue accounting is integer arithmetic, so this only absorbs the
@@ -175,6 +183,12 @@ class RunAuditor(TraceSink):
         self._agap: Dict[int, AGapReplay] = {}
         self._agap_checkable: Dict[int, bool] = {}
         self._finished = False
+        #: Injected-fault observations: ``fault`` events by reason, and
+        #: the drops the trace attributed to fault reasons (packets/bytes
+        #: charged to the fault window, not to a conservation error).
+        self.fault_events: Dict[str, int] = {}
+        self.fault_dropped_packets: Dict[str, int] = {}
+        self.fault_dropped_bytes: Dict[str, int] = {}
 
     def register_queue_limit(self, node: str, limit_bytes: float) -> None:
         """Declare a queue's capacity so the upper occupancy bound applies."""
@@ -209,6 +223,8 @@ class RunAuditor(TraceSink):
             self._on_aq_rate(event)
         elif etype == EV_GATE:
             self._on_gate(event)
+        elif etype == EV_FAULT:
+            self._on_fault(event)
 
     def close(self) -> None:
         self.finish()
@@ -268,11 +284,36 @@ class RunAuditor(TraceSink):
             self._backlog[node] = reported  # re-anchor: one fault, one violation
 
     def _on_drop(self, event: TraceEvent) -> None:
+        reason = event.reason
+        if reason in FAULT_DROP_REASONS:
+            self.fault_dropped_packets[reason] = (
+                self.fault_dropped_packets.get(reason, 0) + 1
+            )
+            self.fault_dropped_bytes[reason] = (
+                self.fault_dropped_bytes.get(reason, 0) + (event.size or 0)
+            )
+            if reason in _POST_ENQUEUE_FAULT_REASONS:
+                # A restart drain discards packets that were *in* the
+                # queue: the derived backlog must shrink with each one,
+                # and the queue's reported backlog is re-verified — this
+                # is how conservation holds *across* the restart instead
+                # of being suspended for it.
+                self._on_queue_op(event, -(event.size or 0))
         if event.flow_id is not None:
             book = self._book(event.flow_id)
             book.dropped_bytes += event.size or 0
             book.dropped_packets += 1
             self._check_flow(event, book)
+
+    def _on_fault(self, event: TraceEvent) -> None:
+        reason = event.reason or "fault"
+        self.fault_events[reason] = self.fault_events.get(reason, 0) + 1
+        if reason == "aq_state_lost" and event.aq_id is not None:
+            # The switch lost this AQ's registers: the Theorem 3.2 replay
+            # restarts from scratch when the controller's redeploy
+            # re-announces the rate (a fresh ``aq_rate`` event).
+            self._agap.pop(event.aq_id, None)
+            self._agap_checkable[event.aq_id] = False
 
     def _on_agap_update(self, event: TraceEvent) -> None:
         aq_id = event.aq_id
@@ -374,7 +415,7 @@ class RunAuditor(TraceSink):
     def report(self) -> dict:
         """JSON-safe summary: violation list plus the per-flow ledgers."""
         self.finish()
-        return {
+        out = {
             "events_seen": self.events_seen,
             "violation_count": len(self.violations),
             "violations": [v.to_dict() for v in self.violations],
@@ -385,3 +426,10 @@ class RunAuditor(TraceSink):
                 )
             },
         }
+        if self.fault_events or self.fault_dropped_packets:
+            out["faults"] = {
+                "events": dict(self.fault_events),
+                "attributed_dropped_packets": dict(self.fault_dropped_packets),
+                "attributed_dropped_bytes": dict(self.fault_dropped_bytes),
+            }
+        return out

@@ -28,8 +28,11 @@ Field semantics (``None`` means "not applicable", dropped from JSON):
 ``reason`` short cause label on discard/decision events: ``"buffer"``
            (tail drop), ``"red"`` (probabilistic RED drop), ``"no_queue"``
            (per-flow queue table exhausted), ``"rate_limit"`` (AQ limit
-           drop), ``"shaper"`` (token-bucket backlog cap), and
-           ``"bypass"``/``"enforce"`` on ``gate`` events
+           drop), ``"shaper"`` (token-bucket backlog cap),
+           ``"bypass"``/``"enforce"`` on ``gate`` events, and the
+           fault-attributed discard labels ``"link_down"``,
+           ``"switch_restart"`` (queue drained by a restart), and
+           ``"corrupt"`` (packet corrupted on a faulty link)
 ========== ===================================================================
 """
 
@@ -59,6 +62,10 @@ EV_DELIVER = "deliver"
 EV_AQ_RATE = "aq_rate"
 #: The work-conserving gate flipped between bypass and enforce.
 EV_GATE = "gate"
+#: An injected fault fired or a recovery step ran (``reason`` names the
+#: fault kind/step, ``node`` the affected component, ``aq_id`` the wiped
+#: or redeployed Augmented Queue where applicable).
+EV_FAULT = "fault"
 
 #: The canonical event vocabulary, in emission-likelihood order.
 CORE_EVENT_TYPES = (
@@ -81,8 +88,14 @@ AUDIT_EVENT_TYPES = (
     EV_GATE,
 )
 
+#: Fault-injection events; only present in traces of runs driven by a
+#: :class:`~repro.faults.FaultPlan`. The auditor uses them to attribute
+#: fault-window losses and to reset per-AQ recurrence replay after a
+#: switch restart wipes register state.
+FAULT_EVENT_TYPES = (EV_FAULT,)
+
 #: Every event type the simulator itself emits.
-ALL_EVENT_TYPES = CORE_EVENT_TYPES + AUDIT_EVENT_TYPES
+ALL_EVENT_TYPES = CORE_EVENT_TYPES + AUDIT_EVENT_TYPES + FAULT_EVENT_TYPES
 
 _FIELDS = ("type", "time", "node", "flow_id", "aq_id", "size", "value", "reason")
 

@@ -33,6 +33,24 @@ class QueueDiscipline(ABC):
     def packets_queued(self) -> int:
         """Current backlog in packets."""
 
+    def drain(self, now: float, reason: str = "switch_restart") -> "list[Packet]":
+        """Discard every buffered packet (switch-restart semantics).
+
+        Returns the drained packets. Implementations are expected to
+        account these as *drops* attributed to ``reason`` — emitting one
+        ``drop`` trace event per packet rather than ``dequeue`` events —
+        so the conservation auditor can attribute the loss to the fault
+        window. This fallback reuses :meth:`dequeue` (and therefore
+        emits dequeue telemetry); the in-tree disciplines all override
+        it with fault-attributed versions.
+        """
+        packets = []
+        while True:
+            packet = self.dequeue(now)
+            if packet is None:
+                return packets
+            packets.append(packet)
+
     def __len__(self) -> int:
         return self.packets_queued
 

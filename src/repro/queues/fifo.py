@@ -36,6 +36,7 @@ class FifoQueueStats:
         "dropped_bytes",
         "dropped_buffer_packets",
         "dropped_red_packets",
+        "dropped_fault_packets",
         "ecn_marked_packets",
         "max_bytes_queued",
         "queuing_delays",
@@ -50,6 +51,7 @@ class FifoQueueStats:
         self.dropped_bytes = 0
         self.dropped_buffer_packets = 0
         self.dropped_red_packets = 0
+        self.dropped_fault_packets = 0
         self.ecn_marked_packets = 0
         self.max_bytes_queued = 0
         self.queuing_delays: list = []
@@ -131,6 +133,9 @@ class PhysicalFifoQueue(QueueDiscipline):
         )
         registry.counter("queue_dropped_packets", queue=label, reason="red").set(
             stats.dropped_red_packets
+        )
+        registry.counter("queue_dropped_packets", queue=label, reason="fault").set(
+            stats.dropped_fault_packets
         )
         registry.counter("queue_ecn_marked_packets", queue=label).set(
             stats.ecn_marked_packets
@@ -239,6 +244,35 @@ class PhysicalFifoQueue(QueueDiscipline):
             if fr is not None and packet.flight is not None:
                 fr.queue_exit(packet, self.name, now)
         return packet
+
+    def drain(self, now: float, reason: str = "switch_restart") -> list:
+        """Discard the whole backlog, attributing each packet to ``reason``.
+
+        Unlike the base-class fallback this emits ``drop`` (not
+        ``dequeue``) events, so a restart's losses are charged to the
+        fault window rather than looking like forwarded traffic.
+        """
+        drained = []
+        tele = self._tele
+        while self._queue:
+            packet = self._queue.popleft()
+            self._bytes -= packet.size
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bytes += packet.size
+            self.stats.dropped_fault_packets += 1
+            if tele is not None and tele.enabled:
+                tele.trace.emit_fields(
+                    EV_DROP, now, node=self.name, flow_id=packet.flow_id,
+                    size=packet.size, value=float(self._bytes), reason=reason,
+                )
+                fr = self._flight
+                if fr is not None and packet.flight is not None:
+                    fr.drop_hop(
+                        packet, self.name, now, reason, depth=float(self._bytes)
+                    )
+                    fr.complete(packet, now, "dropped", node=self.name)
+            drained.append(packet)
+        return drained
 
     @property
     def bytes_queued(self) -> int:

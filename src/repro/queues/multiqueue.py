@@ -122,6 +122,15 @@ class MultiQueuePort(QueueDiscipline):
         # All empty (or pathological packet > several quanta; bounded scan).
         return None
 
+    def drain(self, now: float, reason: str = "switch_restart") -> List[Packet]:
+        """Discard every sub-queue's backlog as fault-attributed drops."""
+        drained: List[Packet] = []
+        for index, queue in enumerate(self.queues):
+            drained.extend(queue.drain(now, reason))
+            self._deficits[index] = 0.0
+        self._rr_index = 0
+        return drained
+
     @property
     def bytes_queued(self) -> int:
         return sum(q.bytes_queued for q in self.queues)

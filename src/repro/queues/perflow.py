@@ -98,6 +98,7 @@ class PerFlowQueue(QueueDiscipline):
         self.dropped_packets = 0
         self.dropped_buffer_packets = 0
         self.dropped_no_queue_packets = 0
+        self.dropped_fault_packets = 0
         self.peak_queue_count = 0
         self._tele = telemetry if telemetry is not None and telemetry.enabled else None
         self._flight = self._tele.flightrec if self._tele is not None else None
@@ -111,6 +112,9 @@ class PerFlowQueue(QueueDiscipline):
         )
         registry.counter("queue_dropped_packets", queue=label, reason="no_queue").set(
             self.dropped_no_queue_packets
+        )
+        registry.counter("queue_dropped_packets", queue=label, reason="fault").set(
+            self.dropped_fault_packets
         )
         registry.gauge("queue_backlog_bytes", queue=label).set(self._bytes)
         registry.gauge("perflow_peak_queue_count", queue=label).set(
@@ -180,6 +184,21 @@ class PerFlowQueue(QueueDiscipline):
                 queue.deficit += self.quantum_bytes * queue.weight
             else:
                 del self._queues[key]
+
+    def drain(self, now: float, reason: str = "switch_restart") -> list:
+        """Discard every sub-queue's backlog as fault-attributed drops."""
+        drained = []
+        for queue in self._queues.values():
+            while queue.packets:
+                packet = queue.packets.popleft()
+                queue.bytes -= packet.size
+                self._bytes -= packet.size
+                self.dropped_packets += 1
+                self.dropped_fault_packets += 1
+                self._emit_drop(packet, now, reason)
+                drained.append(packet)
+        self._queues.clear()
+        return drained
 
     @property
     def bytes_queued(self) -> int:

@@ -111,6 +111,10 @@ class Simulator:
         self._live = 0
         self._free: list[Event] = []
         self.compactions = 0
+        #: Fault-event observers (see :meth:`add_fault_listener`). Kept off
+        #: the run-loop hot path entirely: the list is only walked when a
+        #: fault injector calls :meth:`notify_fault`.
+        self._fault_listeners: list[Callable[[Any], None]] = []
         if telemetry is None:
             from ..obs.telemetry import Telemetry, get_active_telemetry
 
@@ -180,6 +184,24 @@ class Simulator:
             event.poolable = True
         heapq.heappush(self._heap, event)
         self._live += 1
+
+    # -- fault events ------------------------------------------------------------
+
+    def add_fault_listener(self, listener: Callable[[Any], None]) -> None:
+        """Register ``listener(fault_event)`` to run whenever an injected
+        fault fires in this simulation (see :mod:`repro.faults`). The
+        engine itself never originates faults; this is the rendezvous
+        point between the injector and components (recovery managers,
+        meters) that need to observe topology state changes without the
+        injector knowing about them."""
+        self._fault_listeners.append(listener)
+
+    def notify_fault(self, fault_event: Any) -> None:
+        """Deliver ``fault_event`` to every registered listener, in
+        registration order. Called by the fault injector at the moment a
+        scheduled fault is applied."""
+        for listener in self._fault_listeners:
+            listener(fault_event)
 
     # -- execution ---------------------------------------------------------------
 

@@ -68,6 +68,17 @@ class Network:
         self._host_uplink: Dict[str, str] = {}
         #: adjacency between switches: name -> {neighbor: port_name}
         self._switch_adj: Dict[str, Dict[str, str]] = {}
+        #: Armed fault injector when an ambient fault plan is active (the
+        #: ``--faults`` CLI flag), mirroring the ambient-telemetry pickup.
+        #: Targets resolve lazily at fire time, so arming before the
+        #: topology is wired is safe.
+        self.fault_injector = None
+        from ..faults.injector import FaultInjector, get_active_fault_plan
+
+        plan = get_active_fault_plan()
+        if plan is not None:
+            self.fault_injector = FaultInjector(plan, self)
+            self.fault_injector.arm()
 
     # -- element creation ---------------------------------------------------------
 

@@ -24,13 +24,14 @@ from ..errors import TransportError
 from ..net.host import Host
 from ..net.packet import Packet, make_ack, make_data
 from ..obs.events import EV_CWND_CHANGE
-from ..units import ACK_BYTES, MSS_BYTES, ms
+from ..units import ACK_BYTES, MSS_BYTES, SECOND, ms
 
-#: RFC 6298 parameters, scaled for data center RTTs.
+#: RFC 6298 parameters, scaled for data center RTTs. Both RTO bounds go
+#: through the units helpers so they are explicitly in seconds.
 RTO_ALPHA = 1.0 / 8.0
 RTO_BETA = 1.0 / 4.0
 DEFAULT_MIN_RTO = ms(1)
-MAX_RTO = 1.0
+MAX_RTO = 1 * SECOND
 DUP_ACK_THRESHOLD = 3
 
 
@@ -116,6 +117,8 @@ class TcpSender:
         self._srtt = -1.0
         self._rttvar = 0.0
         self._rto = 10 * min_rto
+        self._rto_backed_off = False
+        self._max_seq_sent = 0
         self._base_rtt = float("inf")
         self._rto_event = None
         self._pace_event = None
@@ -220,6 +223,10 @@ class TcpSender:
 
     def _send_segment(self, seq: int, seg_size: int, retransmission: bool = False) -> None:
         now = self.sim.now
+        # Any byte below the high-water mark has been on the wire before:
+        # post-RTO go-back-N resends come through _try_send without the
+        # retransmission flag, and the stats must still count them.
+        rewired = seq < self._max_seq_sent
         is_last = self.size_bytes is not None and seq + seg_size >= self.size_bytes
         packet = make_data(
             self.host.name,
@@ -244,7 +251,9 @@ class TcpSender:
         else:
             segment.retransmitted = True
             segment.sent_time = now
-        if retransmission:
+        if seq + seg_size > self._max_seq_sent:
+            self._max_seq_sent = seq + seg_size
+        if retransmission or rewired:
             self.stats.retransmissions += 1
         self.stats.segments_sent += 1
         self.stats.bytes_sent += seg_size
@@ -283,6 +292,12 @@ class TcpSender:
         self._dup_acks = 0
         if rtt_sample > 0:
             self._update_rtt(rtt_sample)
+            # The fresh sample re-derived the RTO from live srtt/rttvar —
+            # the RFC 6298 §5.7 backoff collapse. An ACK that covers only
+            # flagged retransmissions yields no sample (Karn's rule keeps
+            # them out of the estimator), so the backed-off RTO stays in
+            # place until the path proves itself with a clean round trip.
+            self._rto_backed_off = False
 
         if self._in_recovery:
             if ack >= self._recover_seq:
@@ -375,6 +390,7 @@ class TcpSender:
         self._dup_acks = 0
         self._in_recovery = False
         self._rto = min(MAX_RTO, self._rto * 2)
+        self._rto_backed_off = True
         self._try_send()
 
     # -- introspection --------------------------------------------------------------

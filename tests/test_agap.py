@@ -233,3 +233,67 @@ class TestFigure3FluidModel:
     def test_strawman_measure_goes_negative(self):
         trace = simulate_discrepancy_control(use_agap=False)
         assert min(trace.measures) < 0.0
+
+
+class TestAdversarialTimestamps:
+    """Theorem 3.2's recurrence under hostile clocks: equal consecutive
+    timestamps (Δ(k)=0, e.g. two packets in one switch pipeline cycle)
+    must be handled exactly, regressions must raise, and the gap must
+    never go negative through any interleaving of arrivals and undos."""
+
+    deltas_and_sizes = st.lists(
+        st.tuples(
+            # Heavily weighted toward Δ=0 to stress the degenerate case.
+            st.one_of(
+                st.just(0.0),
+                st.just(0.0),
+                st.floats(min_value=0.0, max_value=5e-3),
+            ),
+            st.integers(min_value=64, max_value=9000),
+            st.booleans(),  # undo this arrival afterwards (drop path)?
+        ),
+        min_size=1,
+        max_size=120,
+    )
+
+    @given(deltas_and_sizes, st.floats(min_value=1e6, max_value=1e11))
+    @settings(max_examples=200, deadline=None)
+    def test_gap_never_negative(self, steps, rate_bps):
+        tracker = AGapTracker(rate_bps=rate_bps)
+        t = 0.0
+        for delta, size, undo in steps:
+            t += delta
+            gap = tracker.on_arrival(t, size)
+            assert gap >= 0.0
+            # Δ=0 must drain nothing: gap grows by exactly the size.
+            if delta == 0.0:
+                assert gap >= size
+            if undo:
+                tracker.undo_arrival(size)
+            assert tracker.gap >= 0.0
+            assert tracker.peek(t) == pytest.approx(tracker.gap)
+
+    def test_equal_timestamps_accumulate_exactly(self):
+        tracker = AGapTracker(rate_bps=GBPS)
+        tracker.on_arrival(1e-3, 1000)
+        baseline = tracker.gap
+        for k in range(1, 6):
+            assert tracker.on_arrival(1e-3, 500) == pytest.approx(
+                baseline + 500 * k
+            )
+
+    def test_backward_time_raises_but_preserves_state(self):
+        tracker = AGapTracker(rate_bps=GBPS)
+        tracker.on_arrival(2e-3, 1500)
+        gap_before = tracker.gap
+        with pytest.raises(ConfigurationError):
+            tracker.on_arrival(1e-3, 700)
+        assert tracker.gap == gap_before
+        assert tracker.last_time == 2e-3
+
+    def test_undo_storm_saturates_at_zero(self):
+        tracker = AGapTracker(rate_bps=GBPS)
+        tracker.on_arrival(0.0, 1500)
+        for _ in range(5):
+            tracker.undo_arrival(9000)
+            assert tracker.gap == 0.0

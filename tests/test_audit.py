@@ -213,6 +213,78 @@ class TestGateWorkConservation:
         assert invariants(auditor) == ["gate_work_conservation"]
 
 
+# -- fault attribution -------------------------------------------------------------
+
+
+class TestFaultAttribution:
+    def test_restart_drain_shrinks_derived_backlog(self):
+        auditor = RunAuditor()
+        feed(auditor,
+             TraceEvent(EV_ENQUEUE, 0.0, node="q0", size=1000, value=1000.0),
+             TraceEvent(EV_ENQUEUE, 0.1, node="q0", size=1000, value=2000.0),
+             # A restart drains both buffered packets: each drop carries
+             # the post-pop backlog, and the ledger must follow it down.
+             TraceEvent(EV_DROP, 0.2, node="q0", size=1000, value=1000.0,
+                        reason="switch_restart"),
+             TraceEvent(EV_DROP, 0.2, node="q0", size=1000, value=0.0,
+                        reason="switch_restart"),
+             # Post-restart traffic re-verifies against the drained ledger.
+             TraceEvent(EV_ENQUEUE, 0.3, node="q0", size=500, value=500.0))
+        assert auditor.finish() == []
+        assert auditor.fault_dropped_packets == {"switch_restart": 2}
+        assert auditor.fault_dropped_bytes == {"switch_restart": 2000}
+
+    def test_restart_drain_with_wrong_reported_backlog_violates(self):
+        auditor = RunAuditor()
+        feed(auditor,
+             TraceEvent(EV_ENQUEUE, 0.0, node="q0", size=1000, value=1000.0),
+             # The drain claims 700B remain, but history says 0.
+             TraceEvent(EV_DROP, 0.1, node="q0", size=1000, value=700.0,
+                        reason="switch_restart"))
+        assert invariants(auditor) == ["queue_conservation"]
+
+    def test_link_down_drops_are_attributed_but_not_queue_ops(self):
+        auditor = RunAuditor()
+        feed(auditor,
+             TraceEvent(EV_HOST_SEND, 0.0, node="h0", flow_id=1, size=1000),
+             # A link-down drop never sat in an audited queue: it must be
+             # charged to the fault and to the flow, but not to a backlog.
+             TraceEvent(EV_DROP, 0.1, node="s0->h1", flow_id=1, size=1000,
+                        reason="link_down"))
+        assert auditor.finish() == []
+        assert auditor.fault_dropped_packets == {"link_down": 1}
+        report = auditor.report()
+        assert report["faults"]["attributed_dropped_bytes"] == {"link_down": 1000}
+        assert report["flows"]["1"]["in_flight_bytes"] == 0
+
+    def test_aq_state_lost_resets_recurrence_replay(self):
+        from repro.obs.events import EV_FAULT
+
+        auditor = RunAuditor()
+        rate = 8e6  # drains 1e6 B/s
+        feed(auditor,
+             TraceEvent(EV_AQ_RATE, 0.0, aq_id=1, value=rate),
+             TraceEvent(EV_AGAP_UPDATE, 1e-3, aq_id=1, size=1000, value=1000.0),
+             # Registers wiped: the next update would be inconsistent with
+             # the replay, but the reset makes it uncheckable until the
+             # redeploy re-announces a rate.
+             TraceEvent(EV_FAULT, 2e-3, aq_id=1, reason="aq_state_lost"),
+             TraceEvent(EV_AGAP_UPDATE, 3e-3, aq_id=1, size=1000, value=1000.0),
+             # Redeploy: replay restarts from scratch and checks again.
+             TraceEvent(EV_AQ_RATE, 4e-3, aq_id=1, value=rate),
+             TraceEvent(EV_AGAP_UPDATE, 5e-3, aq_id=1, size=1000, value=1000.0),
+             TraceEvent(EV_AGAP_UPDATE, 6e-3, aq_id=1, size=1000, value=1000.0))
+        assert auditor.finish() == []
+        assert auditor.fault_events == {"aq_state_lost": 1}
+
+    def test_report_omits_faults_section_on_fault_free_runs(self):
+        auditor = RunAuditor()
+        feed(auditor,
+             TraceEvent(EV_HOST_SEND, 0.0, node="h0", flow_id=1, size=1000),
+             TraceEvent(EV_DELIVER, 0.1, node="h1", flow_id=1, size=1000))
+        assert "faults" not in auditor.report()
+
+
 # -- machinery ---------------------------------------------------------------------
 
 

@@ -223,3 +223,102 @@ class TestWeightedReallocation:
         controller.enable_weighted_reallocation("bn")
         with pytest.raises(ConfigurationError):
             controller.enable_weighted_reallocation("bn")
+
+
+class TestWithdrawHardening:
+    """Repeated/partial withdraws must never double-free capacity or
+    leave stale weight, and the weighted pool must always sum to
+    ``weighted_capacity_bps`` (the rebalance invariant)."""
+
+    @staticmethod
+    def _assert_invariant(controller, group_name="bn"):
+        group = controller._groups[group_name]
+        if group.weighted_grants:
+            total = sum(g.aq.rate_bps for g in group.weighted_grants)
+            assert total == pytest.approx(group.weighted_capacity_bps)
+        assert group.absolute_committed_bps >= -1e-6
+
+    def test_double_withdraw_absolute_no_double_free(self):
+        _, controller = make_network()
+        grant = controller.request(request(absolute_rate_bps=gbps(7)))
+        controller.withdraw(grant)
+        controller.withdraw(grant)  # idempotent, not a second release
+        group = controller._groups["bn"]
+        assert group.absolute_committed_bps == pytest.approx(0.0)
+        # If the second withdraw had double-freed, this would over-admit.
+        controller.request(request(entity="e2", absolute_rate_bps=gbps(10)))
+        with pytest.raises(AdmissionError):
+            controller.request(request(entity="e3", absolute_rate_bps=gbps(1)))
+
+    def test_double_withdraw_weighted_no_stale_weight(self):
+        _, controller = make_network()
+        g1 = controller.request(request(absolute_rate_bps=None, weight=1.0))
+        g2 = controller.request(
+            request(entity="e2", absolute_rate_bps=None, weight=3.0)
+        )
+        controller.withdraw(g2)
+        controller.withdraw(g2)
+        assert g1.aq.rate_bps == pytest.approx(gbps(10))
+        self._assert_invariant(controller)
+
+    def test_absolute_churn_rebalances_weighted_pool(self):
+        _, controller = make_network()
+        g1 = controller.request(request(absolute_rate_bps=None, weight=1.0))
+        carve = controller.request(
+            request(entity="e2", absolute_rate_bps=gbps(4))
+        )
+        # The carve-out must have shrunk the weighted grant immediately...
+        assert g1.aq.rate_bps == pytest.approx(gbps(6))
+        self._assert_invariant(controller)
+        controller.withdraw(carve)
+        # ...and releasing it must give the bandwidth back.
+        assert g1.aq.rate_bps == pytest.approx(gbps(10))
+        self._assert_invariant(controller)
+
+    def test_rebalance_invariant_after_any_withdraw_sequence(self):
+        import itertools
+
+        for order in itertools.permutations(range(4)):
+            _, controller = make_network()
+            weighted = [
+                controller.request(request(
+                    entity=f"w{i}", absolute_rate_bps=None, weight=float(i + 1)
+                ))
+                for i in range(3)
+            ]
+            absolute = controller.request(
+                request(entity="abs", absolute_rate_bps=gbps(2))
+            )
+            grants = weighted + [absolute]
+            for index in order:
+                controller.withdraw(grants[index])
+                self._assert_invariant(controller)
+
+    def test_withdraw_path_idempotent(self):
+        d, controller = make_network()
+        grants = controller.request_path(
+            request(absolute_rate_bps=gbps(7)),
+            [Dumbbell.LEFT_SWITCH, Dumbbell.RIGHT_SWITCH],
+        )
+        assert len(grants) == 2
+        controller.withdraw_path(grants)
+        controller.withdraw_path(grants)  # re-run must be a no-op
+        for switch in (Dumbbell.LEFT_SWITCH, Dumbbell.RIGHT_SWITCH):
+            assert list(controller.pipeline(switch).deployed()) == []
+        group = controller._groups["bn"]
+        assert group.absolute_committed_bps == pytest.approx(0.0)
+        controller.request(request(entity="e2", absolute_rate_bps=gbps(10)))
+
+    def test_secondary_withdraw_keeps_primary_booked(self):
+        d, controller = make_network()
+        grants = controller.request_path(
+            request(absolute_rate_bps=gbps(7)),
+            [Dumbbell.LEFT_SWITCH, Dumbbell.RIGHT_SWITCH],
+        )
+        controller.withdraw(grants[1])  # secondary only
+        group = controller._groups["bn"]
+        assert group.absolute_committed_bps == pytest.approx(gbps(7))
+        assert list(controller.pipeline(Dumbbell.RIGHT_SWITCH).deployed()) == []
+        assert len(list(controller.pipeline(Dumbbell.LEFT_SWITCH).deployed())) == 1
+        controller.withdraw(grants[0])
+        assert group.absolute_committed_bps == pytest.approx(0.0)

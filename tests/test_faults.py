@@ -1,0 +1,489 @@
+"""Tests for the fault-injection subsystem (repro.faults) and the
+controller's recovery path.
+
+Covers four layers: plan validation/serialization, the injector's
+data-plane actions (link flaps, corruption, switch restarts), the
+controller's redeploy-with-backoff recovery including partitions, and
+the conservation auditor's fault attribution across a restart.
+"""
+
+import pytest
+
+from repro.core.controller import AqController, AqRequest
+from repro.errors import FaultPlanError, PartitionError
+from repro.faults import (
+    KIND_CONTROLLER_HEAL,
+    KIND_CONTROLLER_PARTITION,
+    KIND_LINK_DOWN,
+    KIND_LINK_UP,
+    KIND_PACKET_CORRUPTION,
+    KIND_SWITCH_RESTART,
+    FaultEvent,
+    FaultPlan,
+    activate_fault_plan,
+    get_active_fault_plan,
+    link_blackout_plan,
+    switch_restart_plan,
+)
+from repro.harness.scenarios import EntitySpec, run_switch_restart
+from repro.net.packet import make_udp
+from repro.obs import Telemetry
+from repro.topology.dumbbell import Dumbbell, DumbbellConfig
+from repro.units import gbps
+
+BOTTLENECK = f"{Dumbbell.LEFT_SWITCH}->{Dumbbell.RIGHT_SWITCH}"
+
+
+def tiny_dumbbell(rate=gbps(1)):
+    return Dumbbell(
+        DumbbellConfig(num_left=1, num_right=1, bottleneck_rate_bps=rate)
+    )
+
+
+# -- plan validation & serialization -----------------------------------------------
+
+
+class TestPlanValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultEvent(time=0.0, kind="meteor_strike", target="s0")
+
+    @pytest.mark.parametrize("time", [-1e-9, float("nan"), float("inf")])
+    def test_bad_times_rejected(self, time):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(time=time, kind=KIND_LINK_DOWN, target="a->b")
+
+    @pytest.mark.parametrize("kind", [KIND_CONTROLLER_PARTITION, KIND_CONTROLLER_HEAL])
+    def test_controller_kinds_take_no_target(self, kind):
+        with pytest.raises(FaultPlanError, match="takes no target"):
+            FaultEvent(time=0.0, kind=kind, target="s0")
+        FaultEvent(time=0.0, kind=kind)  # targetless form is fine
+
+    @pytest.mark.parametrize(
+        "kind", [KIND_LINK_DOWN, KIND_LINK_UP, KIND_SWITCH_RESTART]
+    )
+    def test_targeted_kinds_require_target(self, kind):
+        with pytest.raises(FaultPlanError, match="requires a target"):
+            FaultEvent(time=0.0, kind=kind)
+
+    @pytest.mark.parametrize("probability", [None, 0.0, -0.1, 1.5])
+    def test_corruption_probability_bounds(self, probability):
+        with pytest.raises(FaultPlanError, match="probability"):
+            FaultEvent(
+                time=0.0,
+                kind=KIND_PACKET_CORRUPTION,
+                target="a->b",
+                probability=probability,
+            )
+
+    def test_corruption_duration_must_be_positive(self):
+        with pytest.raises(FaultPlanError, match="duration"):
+            FaultEvent(
+                time=0.0,
+                kind=KIND_PACKET_CORRUPTION,
+                target="a->b",
+                probability=0.5,
+                duration=0.0,
+            )
+
+    def test_probability_rejected_on_other_kinds(self):
+        with pytest.raises(FaultPlanError, match="neither probability nor"):
+            FaultEvent(
+                time=0.0, kind=KIND_LINK_DOWN, target="a->b", probability=0.5
+            )
+
+    def test_events_sorted_by_time_stably(self):
+        plan = FaultPlan(
+            events=[
+                FaultEvent(time=2e-3, kind=KIND_LINK_UP, target="a->b"),
+                FaultEvent(time=1e-3, kind=KIND_LINK_DOWN, target="a->b"),
+                FaultEvent(time=1e-3, kind=KIND_CONTROLLER_PARTITION),
+            ]
+        )
+        assert [e.time for e in plan.events] == [1e-3, 1e-3, 2e-3]
+        # Simultaneous events keep authored order.
+        assert plan.events[0].kind == KIND_LINK_DOWN
+        assert plan.events[1].kind == KIND_CONTROLLER_PARTITION
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan(events=[FaultEvent(time=0.0, kind=KIND_CONTROLLER_HEAL)])
+
+    def test_blackout_helper_orders_edges(self):
+        with pytest.raises(FaultPlanError, match="must come after"):
+            link_blackout_plan("a->b", down_at=2e-3, up_at=1e-3)
+
+
+class TestPlanSerialization:
+    def _plan(self):
+        return FaultPlan(
+            seed=7,
+            events=[
+                FaultEvent(time=1e-3, kind=KIND_LINK_DOWN, target="a->b"),
+                FaultEvent(time=2e-3, kind=KIND_CONTROLLER_PARTITION),
+                FaultEvent(
+                    time=3e-3,
+                    kind=KIND_PACKET_CORRUPTION,
+                    target="a->b",
+                    probability=0.25,
+                    duration=1e-3,
+                ),
+            ],
+        )
+
+    def test_dict_round_trip(self):
+        plan = self._plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_file_round_trip(self, tmp_path):
+        plan = self._plan()
+        path = str(tmp_path / "plan.json")
+        plan.to_file(path)
+        assert FaultPlan.from_file(path) == plan
+
+    def test_unknown_event_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault event fields"):
+            FaultEvent.from_dict(
+                {"time": 0.0, "kind": KIND_CONTROLLER_HEAL, "severity": 9}
+            )
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="missing field"):
+            FaultEvent.from_dict({"time": 0.0})
+
+    def test_bad_schema_and_shapes_rejected(self):
+        with pytest.raises(FaultPlanError, match="schema"):
+            FaultPlan.from_dict({"schema": "fault-plan/99", "events": []})
+        with pytest.raises(FaultPlanError, match="'events' list"):
+            FaultPlan.from_dict({"events": "nope"})
+        with pytest.raises(FaultPlanError, match="seed"):
+            FaultPlan.from_dict({"events": [], "seed": "lucky"})
+
+    def test_unreadable_file_raises_plan_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(FaultPlanError, match="cannot read"):
+            FaultPlan.from_file(str(bad))
+        with pytest.raises(FaultPlanError, match="cannot read"):
+            FaultPlan.from_file(str(tmp_path / "missing.json"))
+
+
+# -- ambient activation ------------------------------------------------------------
+
+
+class TestAmbientActivation:
+    def test_no_plan_means_no_injector(self):
+        assert get_active_fault_plan() is None
+        d = tiny_dumbbell()
+        assert d.network.fault_injector is None
+
+    def test_ambient_plan_arms_networks_built_inside(self):
+        plan = switch_restart_plan(Dumbbell.LEFT_SWITCH, 5e-3)
+        with activate_fault_plan(plan):
+            assert get_active_fault_plan() is plan
+            d = tiny_dumbbell()
+            assert d.network.fault_injector is not None
+            assert d.network.fault_injector.plan is plan
+        assert get_active_fault_plan() is None
+
+    def test_empty_plan_is_harmless(self):
+        with activate_fault_plan(FaultPlan()):
+            d = tiny_dumbbell()
+        d.network.run(until=5e-3)
+        injector = d.network.fault_injector
+        assert injector is None or injector.applied == []
+
+
+# -- injector data-plane actions ---------------------------------------------------
+
+
+class _Sink:
+    def __init__(self):
+        self.arrivals = []
+
+    def on_packet(self, packet, now):
+        self.arrivals.append(now)
+
+
+def _stream(net, until, period=50e-6, size=1000):
+    """Schedule a steady h-l0 -> h-r0 UDP stream for the whole run."""
+    sink = _Sink()
+    net.hosts["h-r0"].set_default_endpoint(sink)
+    n = int(until / period)
+    for i in range(n):
+        net.sim.schedule_at(
+            i * period, net.hosts["h-l0"].send, make_udp("h-l0", "h-r0", 1, size)
+        )
+    return sink
+
+
+class TestInjectorActions:
+    def test_unknown_link_target_raises_at_fire_time(self):
+        plan = FaultPlan(
+            events=[FaultEvent(time=1e-3, kind=KIND_LINK_DOWN, target="no->where")]
+        )
+        with activate_fault_plan(plan):
+            d = tiny_dumbbell()
+        with pytest.raises(FaultPlanError, match="unknown link"):
+            d.network.run(until=5e-3)
+
+    def test_unknown_switch_target_raises_at_fire_time(self):
+        plan = switch_restart_plan("s-ghost", 1e-3)
+        with activate_fault_plan(plan):
+            d = tiny_dumbbell()
+        with pytest.raises(FaultPlanError, match="unknown switch"):
+            d.network.run(until=5e-3)
+
+    def test_link_blackout_drops_then_recovers(self):
+        down_at, up_at, until = 4e-3, 8e-3, 12e-3
+        plan = link_blackout_plan(BOTTLENECK, down_at, up_at)
+        with activate_fault_plan(plan):
+            d = tiny_dumbbell()
+        sink = _stream(d.network, until)
+        d.network.run(until=until)
+
+        link = d.network.link(Dumbbell.LEFT_SWITCH, Dumbbell.RIGHT_SWITCH)
+        assert link.stats.dropped_packets > 0
+        assert not link.is_down  # came back up
+        margin = 1e-3  # serialization + propagation slack
+        assert any(t < down_at for t in sink.arrivals), "no pre-fault traffic"
+        assert any(t > up_at + margin for t in sink.arrivals), "never recovered"
+        blackout = [t for t in sink.arrivals if down_at + margin < t < up_at]
+        assert blackout == [], f"delivered during blackout: {blackout[:3]}"
+        # Both plan events were applied, in order.
+        kinds = [e.kind for e in d.network.fault_injector.applied]
+        assert kinds == [KIND_LINK_DOWN, KIND_LINK_UP]
+
+    def test_total_corruption_window_then_recovery(self):
+        start, dur, until = 4e-3, 3e-3, 12e-3
+        plan = FaultPlan(
+            events=[
+                FaultEvent(
+                    time=start,
+                    kind=KIND_PACKET_CORRUPTION,
+                    target=BOTTLENECK,
+                    probability=1.0,
+                    duration=dur,
+                )
+            ]
+        )
+        with activate_fault_plan(plan):
+            d = tiny_dumbbell()
+        sink = _stream(d.network, until)
+        d.network.run(until=until)
+
+        link = d.network.link(Dumbbell.LEFT_SWITCH, Dumbbell.RIGHT_SWITCH)
+        assert link.stats.corrupted_packets > 0
+        margin = 1e-3
+        corrupted = [t for t in sink.arrivals if start + margin < t < start + dur]
+        assert corrupted == []
+        assert any(t > start + dur + margin for t in sink.arrivals)
+
+    def test_corruption_draws_are_seed_deterministic(self):
+        def delivered(seed):
+            plan = FaultPlan(
+                seed=seed,
+                events=[
+                    FaultEvent(
+                        time=1e-3,
+                        kind=KIND_PACKET_CORRUPTION,
+                        target=BOTTLENECK,
+                        probability=0.5,
+                    )
+                ],
+            )
+            with activate_fault_plan(plan):
+                d = tiny_dumbbell()
+            sink = _stream(d.network, 8e-3)
+            d.network.run(until=8e-3)
+            return len(sink.arrivals)
+
+        first = delivered(seed=3)
+        assert delivered(seed=3) == first  # bit-identical replay
+        # Sanity: the lossy window really was lossy.
+        assert 0 < first < int(8e-3 / 50e-6)
+
+    def test_switch_restart_drains_backlog_as_attributed_drops(self):
+        plan = switch_restart_plan(Dumbbell.LEFT_SWITCH, 2e-3)
+        with activate_fault_plan(plan):
+            # Slow bottleneck so the left switch holds a backlog at 2 ms.
+            d = tiny_dumbbell(rate=gbps(0.1))
+        _stream(d.network, 4e-3, period=20e-6, size=1500)
+        d.network.run(until=4e-3)
+
+        switch = d.network.switches[Dumbbell.LEFT_SWITCH]
+        assert switch.stats.restarts == 1
+        assert switch.stats.restart_drained_packets > 0
+        assert (
+            switch.stats.restart_drained_bytes
+            == switch.stats.restart_drained_packets * 1500
+        )
+        applied = d.network.fault_injector.applied
+        assert [e.kind for e in applied] == [KIND_SWITCH_RESTART]
+
+
+# -- controller recovery -----------------------------------------------------------
+
+SMALL = dict(
+    entities=[
+        EntitySpec(name="A", cc="cubic", num_flows=2, weight=1.0),
+        EntitySpec(name="B", cc="cubic", num_flows=2, weight=1.0),
+    ],
+    bottleneck_bps=gbps(1),
+)
+
+
+class TestSwitchRestartRecovery:
+    def test_restart_recovers_within_tolerance(self):
+        result = run_switch_restart(
+            approach="aq",
+            duration=120e-3,
+            warmup=20e-3,
+            restart_at=50e-3,
+            **SMALL,
+        )
+        assert result.restart_stats[Dumbbell.LEFT_SWITCH]["restarts"] == 1
+        assert [e["kind"] for e in result.faults_applied] == [KIND_SWITCH_RESTART]
+        # Every grant's degraded window opened at the fault and was closed
+        # by a successful redeploy.
+        assert result.degraded_windows
+        for window in result.degraded_windows:
+            assert window["start"] == pytest.approx(50e-3)
+            assert window["end"] is not None
+            assert window["end"] > window["start"]
+        assert result.recovered(tolerance=0.05)
+        assert 0 <= result.max_reconvergence_s < result.duration
+
+    def test_parameter_ordering_validated(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_switch_restart(duration=10e-3, warmup=5e-3, restart_at=2e-3)
+
+
+class TestPartitionRecovery:
+    def _controller(self):
+        d = Dumbbell(
+            DumbbellConfig(num_left=2, num_right=2, bottleneck_rate_bps=gbps(10))
+        )
+        controller = AqController(d.network)
+        controller.register_resource("bn", gbps(10))
+        return d, controller
+
+    def test_partitioned_controller_refuses_control_ops(self):
+        _, controller = self._controller()
+        req = AqRequest(
+            entity="e",
+            switch=Dumbbell.LEFT_SWITCH,
+            position="ingress",
+            absolute_rate_bps=gbps(1),
+            share_group="bn",
+        )
+        grant = controller.request(req)
+        controller.partition()
+        with pytest.raises(PartitionError):
+            controller.request(req)
+        with pytest.raises(PartitionError):
+            controller.withdraw(grant)
+        controller.heal()
+        controller.withdraw(grant)  # works again after heal
+
+    def test_redeploy_waits_for_heal(self):
+        heal_at = 45e-3
+        plan = FaultPlan(
+            events=[
+                FaultEvent(time=28e-3, kind=KIND_CONTROLLER_PARTITION),
+                FaultEvent(
+                    time=30e-3,
+                    kind=KIND_SWITCH_RESTART,
+                    target=Dumbbell.LEFT_SWITCH,
+                ),
+                FaultEvent(time=heal_at, kind=KIND_CONTROLLER_HEAL),
+            ]
+        )
+        result = run_switch_restart(
+            approach="aq",
+            duration=110e-3,
+            warmup=15e-3,
+            restart_at=30e-3,
+            plan=plan,
+            **SMALL,
+        )
+        kinds = [e["kind"] for e in result.faults_applied]
+        assert kinds == [
+            KIND_CONTROLLER_PARTITION,
+            KIND_SWITCH_RESTART,
+            KIND_CONTROLLER_HEAL,
+        ]
+        assert result.degraded_windows
+        for window in result.degraded_windows:
+            # No redeploy can land while partitioned: every window stays
+            # open until the heal, then closes promptly.
+            assert window["end"] is not None
+            assert window["end"] >= heal_at
+            assert window["end"] < heal_at + 5e-3
+        assert result.recovered(tolerance=0.1)
+
+    def test_unhealed_partition_abandons_redeploy(self):
+        plan = FaultPlan(
+            events=[
+                FaultEvent(time=18e-3, kind=KIND_CONTROLLER_PARTITION),
+                FaultEvent(
+                    time=20e-3,
+                    kind=KIND_SWITCH_RESTART,
+                    target=Dumbbell.LEFT_SWITCH,
+                ),
+            ]
+        )
+        # Backoff schedule: attempts at +1, +3, +7, +15, +31, +63 ms after
+        # the restart; the 6th attempt abandons. 100 ms covers it all.
+        result = run_switch_restart(
+            approach="aq",
+            duration=100e-3,
+            warmup=10e-3,
+            restart_at=20e-3,
+            plan=plan,
+            **SMALL,
+        )
+        assert result.degraded_windows
+        for window in result.degraded_windows:
+            assert window["end"] is None, "redeploy landed despite partition"
+        controller = result.env.controller
+        assert controller.partitioned
+        assert len(controller.open_degraded_windows()) == len(
+            result.degraded_windows
+        )
+
+
+# -- audit across a restart --------------------------------------------------------
+
+
+class TestAuditAcrossRestart:
+    def test_restart_run_audits_clean_with_attributed_losses(self):
+        tele = Telemetry()
+        auditor = tele.enable_audit()
+        with tele.activate():
+            result = run_switch_restart(
+                approach="aq",
+                duration=90e-3,
+                warmup=15e-3,
+                restart_at=35e-3,
+                **SMALL,
+            )
+        tele.close()
+        assert auditor.finish() == []
+
+        report = auditor.report()
+        faults = report["faults"]
+        assert faults["events"]["switch_restart"] == 1
+        assert faults["events"].get("aq_state_lost", 0) >= 1
+        assert faults["events"].get("redeploy", 0) >= 1
+        # Every byte the restart drained is attributed to the fault
+        # window — that is exactly why the conservation ledger stays clean.
+        drained = result.restart_stats.get(Dumbbell.LEFT_SWITCH, {})
+        assert faults["attributed_dropped_packets"].get(
+            "switch_restart", 0
+        ) == drained.get("drained_packets", 0)
+        assert faults["attributed_dropped_bytes"].get(
+            "switch_restart", 0
+        ) == drained.get("drained_bytes", 0)

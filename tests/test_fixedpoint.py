@@ -139,3 +139,66 @@ class TestFloatEquivalence:
         # And both enforce the allocated rate over the window.
         window_s = t_ns / 1e9
         assert accepted_fixed / window_s == pytest.approx(exact_rate, rel=0.05)
+
+
+class TestEncodingEdgeCases:
+    """The hardening sweep: degenerate rates must fail loudly, never
+    divide by zero, and never silently wrap the 16-bit mantissa."""
+
+    @pytest.mark.parametrize("rate", [0, 0.0, -1, -MIN_RATE_BYTES_PER_S])
+    def test_zero_and_negative_rates_rejected(self, rate):
+        with pytest.raises(ConfigurationError):
+            encode_rate(rate)
+
+    @pytest.mark.parametrize("rate", [0.5, 1, 1e-9, MIN_RATE_BYTES_PER_S - 1])
+    def test_sub_minimum_rates_rejected(self, rate):
+        with pytest.raises(ConfigurationError):
+            encode_rate(rate)
+
+    @pytest.mark.parametrize(
+        "rate", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_rates_rejected(self, rate):
+        with pytest.raises(ConfigurationError):
+            encode_rate(rate)
+
+    def test_quantization_error_never_divides_by_zero(self):
+        for rate in (0, 0.0, -3, float("nan")):
+            with pytest.raises(ConfigurationError):
+                rate_quantization_error(rate)
+
+    def test_mantissa_never_wraps_near_boundaries(self):
+        # Rates just around mantissa-full values are where rounding could
+        # push int(round(value)) past the 16-bit field.
+        for exponent in range(5, 15):
+            full = decode_rate((1 << 16) - 1, exponent)
+            for rate in (full - 1, full, full + 0.49, full + 1, full * 1.0000001):
+                if not MIN_RATE_BYTES_PER_S <= rate <= MAX_RATE_BYTES_PER_S:
+                    continue
+                mantissa, exp = encode_rate(rate)
+                assert 0 < mantissa < (1 << 16)
+                assert 0 <= exp <= 255
+                assert rate_quantization_error(rate) <= 2 ** -15
+
+    def test_round_trip_error_bound_at_range_extremes(self):
+        for rate in (
+            MIN_RATE_BYTES_PER_S,
+            MIN_RATE_BYTES_PER_S + 1,
+            MAX_RATE_BYTES_PER_S - 1,
+            MAX_RATE_BYTES_PER_S,
+        ):
+            assert rate_quantization_error(rate) <= 2 ** -15
+
+    def test_virtual_delay_zero_rate_guard(self):
+        gap = FixedPointAGap(rate_bytes_per_s=1e9)
+        gap.on_arrival(0, 1500)
+        # A wiped register file could zero the rate out from under the
+        # delay computation; that must be an explicit error, not a
+        # ZeroDivisionError.
+        gap.mantissa = 0
+        with pytest.raises(ConfigurationError):
+            gap.virtual_queuing_delay_ns()
+
+    def test_zero_gap_zero_delay(self):
+        gap = FixedPointAGap(rate_bytes_per_s=MIN_RATE_BYTES_PER_S)
+        assert gap.virtual_queuing_delay_ns() == 0

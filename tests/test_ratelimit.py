@@ -1,6 +1,8 @@
 """Tests for the PRL token bucket and the two DRL allocators."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.net.packet import make_ack, make_udp
@@ -201,3 +203,54 @@ class TestElasticSwitch:
         es.add_vm(VmProfile("vm1", gbps(2), gbps(2)), owner="entity")
         assert es._owner_budget("entity", outbound=True) == pytest.approx(gbps(3))
         assert es._owner_budget("entity", outbound=False) == pytest.approx(gbps(3))
+
+
+class TestTokenBucketAdversarialTiming:
+    """The bucket must never go (more than epsilon) negative and never
+    overfill, even when bursts land at identical timestamps (Δ=0) and the
+    rate is retargeted mid-burst."""
+
+    steps = st.lists(
+        st.tuples(
+            st.one_of(  # inter-submit gap, weighted toward Δ=0
+                st.just(0.0),
+                st.just(0.0),
+                st.floats(min_value=0.0, max_value=2e-3),
+            ),
+            st.integers(min_value=64, max_value=1500),  # packet size
+            st.booleans(),  # retarget the rate at this step?
+        ),
+        min_size=1,
+        max_size=60,
+    )
+
+    @given(steps, st.floats(min_value=1e5, max_value=1e9))
+    @settings(max_examples=120, deadline=None)
+    def test_tokens_stay_bounded(self, steps, rate_bps):
+        sim = Simulator()
+        shaper = TokenBucketShaper(sim, rate_bps, lambda p: None)
+        t = 0.0
+        for delta, size, retarget in steps:
+            t += delta
+            sim.schedule_at(t, shaper.submit, pkt(size))
+            if retarget:
+                sim.schedule_at(t, shaper.set_rate, max(rate_bps / 2, 1.0))
+        sim.run(until=t + 1e-9)
+        assert shaper._tokens >= -1e-6
+        assert shaper._tokens <= shaper.bucket_bytes + 1e-6
+        # Nothing vanished: every submitted packet was released, is still
+        # backlogged, or was dropped against the backlog limit.
+        sim.run(until=t + 60.0)
+        assert shaper.backlog_bytes == 0
+        assert shaper._tokens >= -1e-6
+
+    def test_simultaneous_burst_never_negative(self):
+        sim = Simulator()
+        released = []
+        shaper = TokenBucketShaper(sim, mbps(10), released.append)
+        for _ in range(200):  # one pipeline cycle's worth, all at t=0
+            shaper.submit(pkt())
+        assert shaper._tokens >= -1e-6
+        sim.run(until=5.0)
+        assert shaper._tokens >= -1e-6
+        assert shaper.backlog_bytes == 0

@@ -137,3 +137,66 @@ class TestAqHeaderStamping:
         d.network.run(until=0.1)
         data_headers = [h for h in seen if h != (0, 0)]
         assert data_headers and all(h == (7, 9) for h in data_headers)
+
+
+class TestRtoBackoff:
+    """Exponential backoff through a long link blackout, and the RFC 6298
+    collapse of the backoff once new data is acknowledged afterwards."""
+
+    def test_units_consistent(self):
+        from repro.transport.tcp import DEFAULT_MIN_RTO, MAX_RTO
+        from repro.units import SECOND, ms
+
+        assert DEFAULT_MIN_RTO == ms(1)
+        assert MAX_RTO == 1 * SECOND
+        assert DEFAULT_MIN_RTO < MAX_RTO
+
+    def test_blackout_forces_exponential_backoff_then_reset(self):
+        d = small_dumbbell()
+        net = d.network
+        conn = TcpConnection(net, "h-l0", "h-r0", make_cc("cubic"))
+        sender = conn.sender
+
+        uplink = net.link("h-l0", Dumbbell.LEFT_SWITCH)
+        blackout_rtos = []
+
+        def go_dark():
+            uplink.set_down()
+
+        def probe():
+            blackout_rtos.append(sender._rto)
+            uplink.set_up()
+
+        net.sim.schedule_at(10e-3, go_dark)
+        net.sim.schedule_at(90e-3, probe)
+        net.run(until=0.3)
+
+        # Several RTOs fired during the 80 ms blackout and each doubled
+        # the timer (1, 2, 4, 8, 16, 32 ms...).
+        assert sender.stats.timeouts >= 3
+        assert blackout_rtos[0] >= 8 * sender.min_rto
+
+        # Every go-back-N resend counts as a retransmission, and the
+        # blackout put no bogus samples into the estimator (nothing was
+        # delivered): post-recovery SRTT stays at data-center scale.
+        assert sender.stats.retransmissions >= sender.stats.timeouts
+        assert 0 < sender.srtt < 5e-3
+
+        # And the first new ACK after recovery collapsed the backoff.
+        assert sender._rto < blackout_rtos[0]
+        assert sender._rto <= max(sender.min_rto, sender.srtt * 4)
+
+        # Traffic actually resumed after the link came back.
+        resumed = conn.receiver.delivered_bytes
+        assert resumed * 8 / 0.3 > 0.3 * gbps(1)
+
+    def test_rto_never_exceeds_max(self):
+        d = small_dumbbell()
+        net = d.network
+        conn = TcpConnection(net, "h-l0", "h-r0", NewReno())
+        net.sim.schedule_at(5e-3, net.link("h-l0", Dumbbell.LEFT_SWITCH).set_down)
+        net.run(until=8.0)
+        from repro.transport.tcp import MAX_RTO
+
+        assert conn.sender.stats.timeouts >= 5
+        assert conn.sender._rto <= MAX_RTO
