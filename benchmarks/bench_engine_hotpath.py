@@ -19,6 +19,7 @@ from repro.harness.hotpath import (
     bench_fire_chain,
     bench_idle_link,
     bench_timer_churn,
+    bench_timewin_overhead,
     engine_bench_payload,
 )
 from repro.harness.report import print_experiment, render_table
@@ -63,6 +64,19 @@ def test_engine_backlogged_link(once):
     # The classic two-events-per-packet path (plus the offer events driving
     # the benchmark) must still be exact under backlog.
     assert 2.0 <= result["events_per_packet"] <= 3.5
+
+
+def test_engine_timewin_overhead(once):
+    result = _record("timewin_overhead", once(bench_timewin_overhead))
+    # Every packet must be attributed, and the window ring must stay at
+    # its configured size (sealed ring + active buffer) no matter how
+    # many windows the run spanned -- the fixed-memory claim.
+    assert result["records"] == result["n_packets"]
+    assert result["windows_spanned"] > result["ring_size"]
+    assert result["retained_windows"] <= result["ring_size"] + 1
+    assert result["evicted_windows"] == (
+        result["windows_spanned"] - result["retained_windows"]
+    )
 
 
 def test_engine_write_baseline(once):

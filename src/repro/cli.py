@@ -65,6 +65,15 @@ def _add_telemetry(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--flight-record", metavar="FLIGHTS.JSONL", default=None,
                         help="record per-packet INT flights to a JSONL file "
                              "(inspect with 'repro telemetry flights')")
+    parser.add_argument("--flight-max", type=int, default=None, metavar="N",
+                        help="bound --flight-record to the N most recent "
+                             "flights (ring; evictions are counted)")
+    parser.add_argument("--timewin", metavar="WINDOWS.JSONL", default=None,
+                        help="attach the fixed-memory time-window recorder "
+                             "and dump retained windows to a JSONL file "
+                             "(inspect with 'repro telemetry windows')")
+    parser.add_argument("--timewin-ms", type=float, default=None, metavar="MS",
+                        help="time-window duration in ms (default 1.0)")
     parser.add_argument("--audit", action="store_true",
                         help="attach the conservation-law run auditor; "
                              "exit 1 if any invariant is violated")
@@ -376,7 +385,7 @@ def cmd_run_all(args) -> int:
     results = run_jobs(
         specs, jobs=args.jobs, profile=args.worker_profile,
         audit=args.audit_jobs, flight_dir=args.flight_record_dir,
-        on_result=progress,
+        timewin_dir=args.timewin_dir, on_result=progress,
     )
     sweep_wall = _time.perf_counter() - t0
 
@@ -410,6 +419,12 @@ def cmd_run_all(args) -> int:
                 for v in r.audit["violations"][:5]:
                     print(f"  {v['invariant']} @ t={v['time']:.6f}s "
                           f"{v['subject']}: {v['message']}", file=sys.stderr)
+    if args.timewin_dir:
+        windowed = [r for r in results if r.timewin is not None]
+        total_records = sum(r.timewin["records"] for r in windowed)
+        total_retained = sum(r.timewin["retained_windows"] for r in windowed)
+        print(f"time windows: {len(windowed)} jobs, {total_records:,} records "
+              f"into {total_retained} retained windows -> {args.timewin_dir}/")
 
     engine = engine_results(results)
     if engine:
@@ -553,6 +568,120 @@ def cmd_telemetry_flights(args) -> int:
     return 0
 
 
+def cmd_telemetry_windows(args) -> int:
+    """Query a time-window dump: who built each queue, top contributors,
+    tenant shares — and optionally cross-validate the fixed-memory
+    attribution against a flight-record ground truth."""
+    from .obs.timewin import WindowStore, crosscheck_with_flights
+
+    try:
+        store = WindowStore.from_jsonl(args.windows)
+    except OSError as exc:
+        print(f"cannot read windows: {exc}", file=sys.stderr)
+        return 1
+    except Exception as exc:  # ConfigurationError/json decode
+        print(f"invalid window dump {args.windows}: {exc}", file=sys.stderr)
+        return 1
+
+    ports = [args.port] if args.port else store.ports()
+    if not ports:
+        print("no windows recorded")
+        return 0
+
+    summary_rows = []
+    for port in ports:
+        views = store.views(port)
+        meta = store.port_meta(port)
+        if views:
+            t0, t1 = views[0].t0, views[-1].t1
+            span = f"{t0 * 1e3:.1f}..{t1 * 1e3:.1f}ms"
+        else:
+            span = "-"
+        summary_rows.append([
+            port, str(len(views)), span,
+            str(meta.get("evicted_windows", 0)),
+            str(meta.get("collisions", 0)),
+        ])
+    print(render_table(
+        ["port", "windows", "span", "evicted", "collisions"],
+        summary_rows[: args.max_rows],
+    ))
+
+    if args.port:
+        views = store.views(args.port)
+        t0 = args.t0_ms * 1e-3 if args.t0_ms is not None else (
+            views[0].t0 if views else 0.0
+        )
+        t1 = args.t1_ms * 1e-3 if args.t1_ms is not None else (
+            views[-1].t1 if views else 0.0
+        )
+        report = store.who_built(args.port, t0, t1)
+        print(f"\nwho built {args.port} over "
+              f"[{t0 * 1e3:.3f}ms, {t1 * 1e3:.3f}ms) — "
+              f"coverage: {report.coverage}"
+              + (f" ({report.evicted_windows} window(s) evicted)"
+                 if report.evicted_windows else ""))
+        if report.coverage == "evicted":
+            print("the queried range has wrapped out of the ring; "
+                  "re-run with a larger --timewin ring or query recent time")
+        contributors = report.top_contributors(args.top)
+        if contributors:
+            total = max(report.total_bytes + report.collision_bytes, 1)
+            print(render_table(
+                ["flow", "bytes", "pkts", "share"],
+                [[str(flow), f"{b:,}", str(p), f"{b / total * 100:.1f}%"]
+                 for flow, b, p in contributors],
+            ))
+        shares = report.tenant_shares()
+        if shares:
+            print(render_table(
+                ["tenant (AQ id)", "occupancy share"],
+                [[str(t), f"{share * 100:.1f}%"] for t, share in shares.items()],
+            ))
+        print(f"high-water depth: {report.high_water:,.0f} bytes; "
+              f"dropped: {report.dropped_bytes:,} bytes")
+
+    if args.validate:
+        import json as _json
+
+        from .obs.flightrec import read_flights_jsonl
+
+        try:
+            # A ring-bounded flight file (--flight-max) is incomplete
+            # ground truth: evicted flights' hops are gone, so an exact
+            # per-window cross-check would report spurious mismatches.
+            with open(args.validate, "r", encoding="utf-8") as fh:
+                first = fh.readline().strip()
+            if first:
+                head = _json.loads(first)
+                if head.get("type") == "ring_meta" and head.get("flights_evicted"):
+                    print(
+                        f"cannot validate against {args.validate}: it is "
+                        f"ring-bounded ({head['flights_evicted']} flights "
+                        "evicted); re-record without --flight-max",
+                        file=sys.stderr,
+                    )
+                    return 1
+            verdict = crosscheck_with_flights(
+                store, read_flights_jsonl(args.validate)
+            )
+        except (OSError, ValueError) as exc:
+            print(f"cannot read flights: {exc}", file=sys.stderr)
+            return 1
+        print(f"\nground-truth crosscheck vs {args.validate}: "
+              f"{'OK' if verdict['ok'] else 'MISMATCH'} "
+              f"({verdict['windows_checked']} windows checked, "
+              f"{verdict['windows_skipped_evicted']} evicted/skipped, "
+              f"{verdict['collision_windows']} with slot collisions)")
+        if not verdict["ok"]:
+            for mismatch in verdict["mismatches"][:10]:
+                print(f"  {mismatch['port']} w{mismatch['seq']} "
+                      f"{mismatch['field']}: expected {mismatch['expected']} "
+                      f"recorded {mismatch['recorded']}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -691,6 +820,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flight-record-dir", metavar="DIR", default=None,
                    help="record each job's INT flights to "
                         "DIR/<job>.flights.jsonl")
+    p.add_argument("--timewin-dir", metavar="DIR", default=None,
+                   help="attach the fixed-memory time-window recorder in "
+                        "every worker and dump each job's windows to "
+                        "DIR/<job>.windows.jsonl")
     p.add_argument("--list", action="store_true",
                    help="list matching jobs without running them")
     p.set_defaults(fn=cmd_run_all)
@@ -715,6 +848,25 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--max-drops", type=int, default=10,
                     help="attribution lines to print (default 10)")
     pf.set_defaults(fn=cmd_telemetry_flights)
+    pw = tsub.add_parser("windows",
+                         help="query a time-window dump: who built each "
+                              "queue, top contributors, tenant shares")
+    pw.add_argument("windows", help="JSONL written by --timewin or "
+                                    "run-all --timewin-dir")
+    pw.add_argument("--port", default=None,
+                    help="attribute one port (multi-queue sub-ports merge "
+                         "under their parent name)")
+    pw.add_argument("--t0-ms", type=float, default=None,
+                    help="query start (default: oldest retained window)")
+    pw.add_argument("--t1-ms", type=float, default=None,
+                    help="query end (default: newest retained window)")
+    pw.add_argument("--top", type=int, default=10,
+                    help="contributors to list (default 10)")
+    pw.add_argument("--validate", metavar="FLIGHTS.JSONL", default=None,
+                    help="cross-validate attribution against a flight "
+                         "record of the same run; exit 1 on mismatch")
+    pw.add_argument("--max-rows", type=int, default=40)
+    pw.set_defaults(fn=cmd_telemetry_windows)
 
     return parser
 
@@ -740,9 +892,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     profile = getattr(args, "profile", False)
     flight_path = getattr(args, "flight_record", None)
     audit = getattr(args, "audit", False)
+    flight_max = getattr(args, "flight_max", None)
+    timewin_path = getattr(args, "timewin", None)
+    timewin_ms = getattr(args, "timewin_ms", None)
     if (
         trace_path is None and not metrics_summary and not profile
-        and flight_path is None and not audit
+        and flight_path is None and not audit and timewin_path is None
     ):
         with plan_scope:
             return args.fn(args)
@@ -750,7 +905,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         session = telemetry_session(
             jsonl_path=trace_path, profile=profile,
-            flight_path=flight_path, audit=audit,
+            flight_path=flight_path, audit=audit, flight_max=flight_max,
+            timewin_path=timewin_path,
+            timewin_window_s=timewin_ms * 1e-3 if timewin_ms is not None else None,
         )
         tele = session.__enter__()
     except OSError as exc:
@@ -774,6 +931,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if flight_path is not None and tele.flightrec is not None:
         print(f"flight records: {tele.flightrec.flights_completed} flights "
               f"-> {flight_path}")
+    if timewin_path is not None and tele.timewin is not None:
+        stats = tele.timewin.stats()
+        print(f"time windows: {stats['retained_windows']} windows retained "
+              f"across {stats['ports']} ports "
+              f"({stats['records']} records, {stats['evicted_windows']} "
+              f"evicted) -> {timewin_path}")
     if audit and tele.auditor is not None:
         violations = tele.auditor.finish()
         print(f"audit: {tele.auditor.events_seen:,} events checked, "

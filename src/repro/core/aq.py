@@ -96,6 +96,12 @@ class AugmentedQueue:
         self.position = ""
         self._tele = telemetry if telemetry is not None and telemetry.enabled else None
         self._flight = self._tele.flightrec if self._tele is not None else None
+        self._timewin = self._tele.timewin if self._tele is not None else None
+        #: Window-recorder node label: the virtual queue is attributed like
+        #: a port, with the A-Gap standing in for physical backlog.
+        self._timewin_node = f"aq{aq_id}" if not entity else f"aq{aq_id}:{entity}"
+        if self._timewin is not None:
+            self._timewin.register_port(self._timewin_node)
         #: Last rate announced on the trace (``aq_rate`` events let the run
         #: auditor replay the Theorem 3.2 recurrence with the right R).
         self._traced_rate: Optional[float] = None
@@ -184,7 +190,21 @@ class AugmentedQueue:
                     packet, self.entity, now, self.aq_id, self.position,
                     agap=gap, limit=self.limit_bytes, ecn=False, dropped=True,
                 )
+            tw = self._timewin
+            if tw is not None:
+                tw.on_drop(
+                    self._timewin_node, packet.flow_id, self.aq_id,
+                    packet.size, now,
+                )
             return False
+        tw = self._timewin
+        if tw is not None:
+            # Who is building this *virtual* queue: the accepted packet's
+            # flow, with the post-arrival A-Gap as the depth sample.
+            tw.on_enqueue(
+                self._timewin_node, packet.flow_id, self.aq_id,
+                packet.size, gap, now,
+            )
         if self.record_delays:
             stats.delay_samples.append(self.tracker.virtual_queuing_delay())
         kind = self.policy.kind

@@ -78,6 +78,10 @@ def telemetry_session(
     summary: bool = False,
     flight_path: Optional[str] = None,
     audit: bool = False,
+    flight_max: Optional[int] = None,
+    timewin: bool = False,
+    timewin_path: Optional[str] = None,
+    timewin_window_s: Optional[float] = None,
 ) -> Iterator[Optional[Telemetry]]:
     """Ambiently instrument every simulator built inside the ``with`` body.
 
@@ -88,13 +92,19 @@ def telemetry_session(
             run_cc_pair(...)
 
     ``flight_path`` installs the INT flight recorder (streaming completed
-    flights to that JSONL file); ``audit`` attaches a conservation-law
+    flights to that JSONL file; ``flight_max`` bounds it to a most-recent
+    ring); ``audit`` attaches a conservation-law
     :class:`~repro.obs.RunAuditor` — read its verdict off
-    ``tele.auditor`` after the block. Sinks are flushed/closed on exit.
+    ``tele.auditor``; ``timewin``/``timewin_path`` install the
+    fixed-memory time-window recorder (dumping retained windows to
+    ``timewin_path`` on exit), with ``timewin_window_s`` overriding the
+    1 ms window. Sinks are flushed/closed on exit.
     """
+    want_timewin = timewin or timewin_path is not None
     if (
         jsonl_path is None and not profile and ring_capacity is None
         and not summary and flight_path is None and not audit
+        and not want_timewin
     ):
         yield None
         return
@@ -106,14 +116,18 @@ def telemetry_session(
     if summary:
         tele.add_summary()
     if flight_path is not None:
-        tele.enable_flight_recording(flight_path)
+        tele.enable_flight_recording(flight_path, max_flights=flight_max)
     if audit:
         tele.enable_audit()
+    if want_timewin:
+        tele.enable_time_windows(window_s=timewin_window_s)
     try:
         with tele.activate():
             yield tele
     finally:
         tele.close()
+        if timewin_path is not None and tele.timewin is not None:
+            tele.timewin.dump_jsonl(timewin_path)
 
 
 def telemetry_from_env() -> "contextlib.AbstractContextManager[Optional[Telemetry]]":

@@ -165,12 +165,80 @@ def bench_backlogged_link(n_packets: int = 20_000, size: int = 1500) -> Dict[str
     }
 
 
+def bench_timewin_overhead(
+    n_packets: int = 50_000, size: int = 1500, n_flows: int = 32
+) -> Dict[str, float]:
+    """Marginal cost of the time-window recorder on the enqueue path.
+
+    Runs the idle-link pump three ways — telemetry off, telemetry enabled
+    without the recorder, and telemetry enabled with it — over ``n_flows``
+    rotating flows. ``overhead_ratio`` compares the last two, isolating the
+    recorder's own cost from the trace-emission cost every enabled run
+    already pays. ``target_ratio`` records the <5% always-on budget the
+    abstraction is designed for (PrintQueue's hardware claim); the pure
+    Python reference recorder measures the *algorithmic* cost per record,
+    which this worst-case bench (every event is an enqueue) overstates
+    relative to end-to-end runs. ``retained_windows`` must stay at the
+    configured ring size no matter how many windows the run spanned — the
+    fixed-memory claim this bench gates.
+    """
+    from ..obs.telemetry import Telemetry
+
+    def drive(telemetry) -> float:
+        sim = Simulator()
+        delivered = []
+        link = Link(sim, 10e9, prop_delay=1e-6, handler=delivered.append)
+        queue = PhysicalFifoQueue(
+            limit_bytes=64 * 1500 * 100, name="bench.p0", telemetry=telemetry
+        )
+        tx = Transmitter(sim, queue, link)
+        sent = [0]
+
+        def pump(_packet=None) -> None:
+            if sent[0] < n_packets:
+                flow = sent[0] % n_flows
+                sent[0] += 1
+                tx.offer(make_udp("a", "b", flow, size))
+
+        link._handler = pump
+        pump()
+        t0 = time.perf_counter()
+        sim.run()
+        return time.perf_counter() - t0
+
+    off_wall = drive(None)
+    tele_wall = drive(Telemetry(enabled=True))
+    tele = Telemetry()
+    recorder = tele.enable_time_windows()
+    timewin_wall = drive(tele)
+    stats = recorder.stats()
+    return {
+        "n_packets": float(n_packets),
+        "n_flows": float(n_flows),
+        "off_wall_s": off_wall,
+        "telemetry_wall_s": tele_wall,
+        "timewin_wall_s": timewin_wall,
+        "overhead_ratio": timewin_wall / tele_wall if tele_wall > 0 else 0.0,
+        "telemetry_ratio": tele_wall / off_wall if off_wall > 0 else 0.0,
+        "target_ratio": 1.05,
+        "timewin_packets_per_sec": (
+            n_packets / timewin_wall if timewin_wall > 0 else 0.0
+        ),
+        "records": float(stats["records"]),
+        "windows_spanned": float(stats["flips"] + 1),
+        "retained_windows": float(stats["retained_windows"]),
+        "evicted_windows": float(stats["evicted_windows"]),
+        "ring_size": float(stats["num_windows"]),
+    }
+
+
 #: name -> zero-arg default-scale runner, the set recorded in BENCH_engine.json.
 ENGINE_BENCHES = {
     "timer_churn": bench_timer_churn,
     "fire_chain": bench_fire_chain,
     "idle_link": bench_idle_link,
     "backlogged_link": bench_backlogged_link,
+    "timewin_overhead": bench_timewin_overhead,
 }
 
 

@@ -230,6 +230,72 @@ def job_link_blackout(
     return out
 
 
+def job_timewin_validate(
+    scenario: str,
+    bottleneck_bps: float,
+    duration: float,
+    window_ms: float = 1.0,
+) -> dict:
+    """Run one small scenario under BOTH recorders and cross-validate.
+
+    The fixed-memory time windows and the per-packet flight recorder
+    observe the same run; :func:`~repro.obs.timewin.crosscheck_with_flights`
+    then requires the bounded-memory attribution to agree with the
+    FlightIndex ground truth per (port, window, flow). The returned
+    verdict is deterministic, so these jobs fold into the sweep digest.
+    """
+    from ..obs.telemetry import Telemetry
+    from ..obs.timewin import FlightCollector, crosscheck_with_flights
+    from .scenarios import run_cc_pair, run_longlived_share
+
+    tele = Telemetry(enabled=True)
+    recorder = tele.enable_time_windows(window_s=window_ms * 1e-3)
+    collector = FlightCollector()
+    tele.enable_flight_recording().attach(collector)
+    with tele.activate():
+        if scenario == "cc-pair":
+            run_cc_pair(
+                "cubic", 2, "dctcp", 2, "aq",
+                bottleneck_bps=bottleneck_bps,
+                duration=duration, warmup=duration / 3,
+            )
+        elif scenario == "udp-tcp":
+            entities = [
+                EntitySpec(name="T", cc="cubic", num_flows=2),
+                EntitySpec(name="U", cc="udp", num_flows=1),
+            ]
+            run_longlived_share(
+                entities, "pq",
+                bottleneck_bps=bottleneck_bps,
+                duration=duration, warmup=duration / 3,
+            )
+        elif scenario == "weighted":
+            entities = [
+                EntitySpec(name="A", cc="cubic", num_flows=1, weight=1.0),
+                EntitySpec(name="B", cc="cubic", num_flows=4, weight=2.0),
+            ]
+            run_longlived_share(
+                entities, "aq",
+                bottleneck_bps=bottleneck_bps,
+                duration=duration, warmup=duration / 3,
+            )
+        else:
+            raise ValueError(f"unknown timewin scenario {scenario!r}")
+    tele.close()
+    verdict = crosscheck_with_flights(recorder, collector.flights)
+    verdict["scenario"] = scenario
+    verdict["flights"] = len(collector.flights)
+    verdict["recorder"] = recorder.stats()
+    # Bound the payload: the first mismatches are enough to diagnose.
+    verdict["mismatches"] = verdict["mismatches"][:5]
+    if not verdict["ok"]:
+        raise AssertionError(
+            f"timewin attribution diverged from flight ground truth: "
+            f"{verdict['mismatches']}"
+        )
+    return verdict
+
+
 def job_engine_bench(bench: str, **scale) -> dict:
     """One engine hot-path micro-benchmark; wall-clock fields go under
     ``"timing"`` so the sweep digest stays parallelism-independent."""
@@ -238,7 +304,7 @@ def job_engine_bench(bench: str, **scale) -> dict:
     raw = ENGINE_BENCHES[bench](**scale)
     out: dict = {"bench": bench, "timing": {}}
     for key, value in raw.items():
-        if "wall" in key or "per_sec" in key:
+        if "wall" in key or "per_sec" in key or key.endswith("_ratio"):
             out["timing"][key] = value
         else:
             out[key] = value
@@ -362,7 +428,16 @@ def default_jobs() -> List[JobSpec]:
             bottleneck_bps=_BOTTLENECK, duration=90e-3, warmup=20e-3,
         ))
 
-    for bench in ("timer_churn", "fire_chain", "idle_link", "backlogged_link"):
+    for scenario in ("cc-pair", "udp-tcp", "weighted"):
+        specs.append(_spec(
+            f"timewin/validate/{scenario}", "job_timewin_validate",
+            scenario=scenario, bottleneck_bps=gbps(1), duration=40e-3,
+        ))
+
+    for bench in (
+        "timer_churn", "fire_chain", "idle_link", "backlogged_link",
+        "timewin_overhead",
+    ):
         specs.append(_spec(f"engine/{bench}", "job_engine_bench", bench=bench))
 
     return specs

@@ -96,6 +96,9 @@ class JobResult:
     #: it rides *outside* ``result`` so enabling the auditor cannot change
     #: :func:`results_digest` — auditing a run must not perturb it.
     audit: Optional[dict] = None
+    #: Time-window recorder stats (``timewin_dir`` sweeps); outside
+    #: ``result`` for the same digest-neutrality reason.
+    timewin: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -134,7 +137,10 @@ def _worker_main(payload: dict, conn) -> None:
             pass
         fn = resolve_target(payload["target"])
         telemetry = None
-        if payload.get("profile") or payload.get("audit") or payload.get("flight_path"):
+        if (
+            payload.get("profile") or payload.get("audit")
+            or payload.get("flight_path") or payload.get("timewin_path")
+        ):
             from ..obs.telemetry import Telemetry
 
             telemetry = Telemetry(enabled=True, profile=bool(payload.get("profile")))
@@ -142,6 +148,8 @@ def _worker_main(payload: dict, conn) -> None:
                 telemetry.enable_audit()
             if payload.get("flight_path"):
                 telemetry.enable_flight_recording(payload["flight_path"])
+            if payload.get("timewin_path"):
+                telemetry.enable_time_windows()
         t0 = time.perf_counter()
         if telemetry is not None:
             with telemetry.activate():
@@ -153,6 +161,11 @@ def _worker_main(payload: dict, conn) -> None:
         report["result"] = result
         if telemetry is not None:
             telemetry.close()
+            if telemetry.timewin is not None and payload.get("timewin_path"):
+                # Window dump + stats ride outside ``result`` (like profile/
+                # audit) so recording cannot perturb the results digest.
+                telemetry.timewin.dump_jsonl(payload["timewin_path"])
+                report["timewin"] = telemetry.timewin.stats()
             if telemetry.profiler is not None:
                 report["profile"] = telemetry.profiler.snapshot()
             if telemetry.auditor is not None:
@@ -212,12 +225,18 @@ def flight_file_for(flight_dir: str, job_name: str) -> str:
     return os.path.join(flight_dir, job_name.replace("/", "_") + ".flights.jsonl")
 
 
+def window_file_for(timewin_dir: str, job_name: str) -> str:
+    """The per-job time-window dump path inside a ``timewin_dir`` sweep."""
+    return os.path.join(timewin_dir, job_name.replace("/", "_") + ".windows.jsonl")
+
+
 def run_jobs(
     specs: Sequence[JobSpec],
     jobs: int = 1,
     profile: bool = False,
     audit: bool = False,
     flight_dir: Optional[str] = None,
+    timewin_dir: Optional[str] = None,
     on_result: Optional[Callable[[JobResult], None]] = None,
     poll_interval: float = 0.05,
 ) -> List[JobResult]:
@@ -227,9 +246,11 @@ def run_jobs(
     ``audit=True`` attaches a conservation-law auditor in each worker and
     ships its verdict back as :attr:`JobResult.audit`; ``flight_dir``
     streams each job's completed INT flights to
-    ``<flight_dir>/<job>.flights.jsonl``. ``on_result`` (if given) is
-    called with each :class:`JobResult` as it lands — the CLI uses it for
-    live progress lines.
+    ``<flight_dir>/<job>.flights.jsonl``; ``timewin_dir`` attaches the
+    fixed-memory time-window recorder and dumps each job's retained
+    windows to ``<timewin_dir>/<job>.windows.jsonl``. ``on_result`` (if
+    given) is called with each :class:`JobResult` as it lands — the CLI
+    uses it for live progress lines.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -238,6 +259,8 @@ def run_jobs(
         raise ConfigurationError("job names must be unique within a sweep")
     if flight_dir is not None:
         os.makedirs(flight_dir, exist_ok=True)
+    if timewin_dir is not None:
+        os.makedirs(timewin_dir, exist_ok=True)
 
     ctx = multiprocessing.get_context("spawn")
     queue: List[tuple] = [(spec, 1) for spec in reversed(specs)]
@@ -256,6 +279,11 @@ def run_jobs(
             "flight_path": (
                 flight_file_for(flight_dir, spec.name)
                 if flight_dir is not None
+                else None
+            ),
+            "timewin_path": (
+                window_file_for(timewin_dir, spec.name)
+                if timewin_dir is not None
                 else None
             ),
         }
@@ -278,6 +306,7 @@ def run_jobs(
                 result=report.get("result"),
                 profile=report.get("profile"),
                 audit=report.get("audit"),
+                timewin=report.get("timewin"),
             )
         elif timed_out:
             outcome = JobResult(
@@ -383,6 +412,8 @@ def result_line(result: JobResult) -> dict:
         line["profile"] = result.profile
     if result.audit is not None:
         line["audit"] = result.audit
+    if result.timewin is not None:
+        line["timewin"] = result.timewin
     return line
 
 
@@ -413,6 +444,7 @@ def read_results_jsonl(path: str) -> List[JobResult]:
                     error=record.get("error"),
                     profile=record.get("profile"),
                     audit=record.get("audit"),
+                    timewin=record.get("timewin"),
                 )
             )
     return results

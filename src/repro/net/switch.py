@@ -76,8 +76,10 @@ class Switch:
         if tele is not None and tele.enabled:
             tele.metrics.add_collector(self._collect_metrics)
             self._flight = tele.flightrec
+            self._timewin = tele.timewin
         else:
             self._flight = None
+            self._timewin = None
 
     def _collect_metrics(self, registry) -> None:
         stats = self.stats
@@ -108,6 +110,17 @@ class Switch:
             raise ConfigurationError(f"switch {self.name} already has port {port_name}")
         port = SwitchPort(self.sim, f"{self.name}.{port_name}", queue, link)
         self.ports[port_name] = port
+        if self._timewin is not None:
+            # Pre-register under the port's wire name so idle ports answer
+            # window queries as empty rather than unknown. Queues built
+            # with their own name register themselves too; an unnamed
+            # queue's traffic still lands under that name only if the
+            # queue was constructed with it, which the topology builders
+            # guarantee.
+            self._timewin.register_port(port.name)
+            queue_name = getattr(queue, "name", "")
+            if queue_name:
+                self._timewin.register_port(queue_name)
         return port
 
     def add_route(self, dst: str, port_name: str) -> None:

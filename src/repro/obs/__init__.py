@@ -42,6 +42,15 @@ from .flightrec import (
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profiler import SimProfiler
 from .telemetry import Telemetry, get_active_telemetry
+from .timewin import (
+    BuildReport,
+    FlightCollector,
+    TimeWindowRecorder,
+    WindowStore,
+    WindowView,
+    build_from_trace,
+    crosscheck_with_flights,
+)
 from .tracebus import (
     JsonlSink,
     RingBufferSink,
@@ -86,6 +95,13 @@ __all__ = [
     "SimProfiler",
     "Telemetry",
     "get_active_telemetry",
+    "BuildReport",
+    "FlightCollector",
+    "TimeWindowRecorder",
+    "WindowStore",
+    "WindowView",
+    "build_from_trace",
+    "crosscheck_with_flights",
     "JsonlSink",
     "RingBufferSink",
     "SummarySink",

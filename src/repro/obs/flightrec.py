@@ -233,23 +233,72 @@ class FlightSink:
 
 
 class JsonlFlightSink(FlightSink):
-    """Appends each completed flight as one JSON line."""
+    """Appends each completed flight as one JSON line.
 
-    def __init__(self, destination: Union[str, IO[str]]) -> None:
+    With ``max_flights`` set, the sink becomes a ring: only the most
+    recent ``max_flights`` flights survive to the file (written at
+    :meth:`close`), and every overwritten one is tallied in
+    ``flights_evicted`` — long ``--flight-record`` runs then degrade to
+    "the recent past" with an explicit loss count instead of growing the
+    output without bound. Unbounded sinks keep the original streaming
+    behaviour (each flight hits the file immediately).
+    """
+
+    def __init__(
+        self,
+        destination: Union[str, IO[str]],
+        max_flights: Optional[int] = None,
+    ) -> None:
+        if max_flights is not None and max_flights < 1:
+            raise ValueError(f"max_flights must be positive, got {max_flights}")
         if isinstance(destination, str):
             self._fh: IO[str] = open(destination, "w", encoding="utf-8")
             self._owns_fh = True
         else:
             self._fh = destination
             self._owns_fh = False
+        self.max_flights = max_flights
+        self._ring: Optional[Deque[Flight]] = (
+            deque(maxlen=max_flights) if max_flights is not None else None
+        )
         self.flights_written = 0
+        self.flights_evicted = 0
+        self._closed = False
 
-    def handle_flight(self, flight: Flight) -> None:
+    def _write(self, flight: Flight) -> None:
         self._fh.write(json.dumps(flight.to_dict(), separators=(",", ":")))
         self._fh.write("\n")
         self.flights_written += 1
 
+    def handle_flight(self, flight: Flight) -> None:
+        ring = self._ring
+        if ring is None:
+            self._write(flight)
+            return
+        if len(ring) == ring.maxlen:
+            self.flights_evicted += 1
+        ring.append(flight)
+
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._ring is not None:
+            if self.flights_evicted:
+                # A header line so readers know the file is a suffix of
+                # the run, and how much history the ring overwrote.
+                self._fh.write(json.dumps(
+                    {
+                        "type": "ring_meta",
+                        "max_flights": self.max_flights,
+                        "flights_evicted": self.flights_evicted,
+                    },
+                    separators=(",", ":"),
+                ))
+                self._fh.write("\n")
+            for flight in self._ring:
+                self._write(flight)
+            self._ring.clear()
         self._fh.flush()
         if self._owns_fh:
             self._fh.close()
@@ -270,6 +319,7 @@ class FlightIndex(FlightSink):
         self.total = 0
         self.delivered = 0
         self.dropped = 0
+        self.unfinished = 0
         self.paths_by_flow: Dict[int, Counter] = {}
         self._latency_sum_by_flow: Dict[int, float] = {}
         self._delivered_by_flow: Counter = Counter()
@@ -283,6 +333,10 @@ class FlightIndex(FlightSink):
         if flight.status == "dropped":
             self.dropped += 1
             self.drops.append(flight)
+        elif flight.status == "unfinished":
+            # Still in a queue at end of run: its hops count toward the
+            # per-node waits below, but not toward delivery latency/paths.
+            self.unfinished += 1
         else:
             self.delivered += 1
             self._delivered_by_flow[flight.flow_id] += 1
@@ -352,14 +406,24 @@ class FlightRecorder:
         self.index = index if index is not None else FlightIndex()
         self._sinks: List[FlightSink] = [self.index]
         self.flights_completed = 0
+        # Armed packets whose flights are still open, so :meth:`finalize`
+        # can seal in-flight history at end of run instead of dropping it.
+        # Compacted in :meth:`start`, so it tracks the true in-flight set
+        # (plus recently sealed stragglers), not every packet ever armed.
+        self._open: List = []
 
     def attach(self, sink: FlightSink) -> FlightSink:
         self._sinks.append(sink)
         return sink
 
-    def add_jsonl(self, destination: Union[str, IO[str]]) -> JsonlFlightSink:
-        """Attach a JSONL file sink for completed flights."""
-        sink = JsonlFlightSink(destination)
+    def add_jsonl(
+        self,
+        destination: Union[str, IO[str]],
+        max_flights: Optional[int] = None,
+    ) -> JsonlFlightSink:
+        """Attach a JSONL file sink for completed flights; ``max_flights``
+        bounds it to a most-recent ring (see :class:`JsonlFlightSink`)."""
+        sink = JsonlFlightSink(destination, max_flights=max_flights)
         self.attach(sink)
         return sink
 
@@ -368,6 +432,10 @@ class FlightRecorder:
     def start(self, packet, now: float) -> None:
         """Arm a packet with an empty flight header (called at injection)."""
         packet.flight = [HopRecord("host", packet.src, now)]
+        open_packets = self._open
+        open_packets.append(packet)
+        if len(open_packets) > 4096:
+            self._open = [p for p in open_packets if p.flight is not None]
 
     def queue_hop(self, packet, node: str, now: float, depth: float) -> HopRecord:
         """Record acceptance into a physical queue; returns the open hop."""
@@ -463,7 +531,28 @@ class FlightRecorder:
         """Sender-side hook: an ACK carried back a receiver digest."""
         self.index.note_echo(flow_id, digest, now)
 
+    def finalize(self, status: str = "unfinished") -> int:
+        """Seal every still-open flight (packets in queues at end of run).
+
+        Without this, in-flight history is silently lost at close — and a
+        ground-truth cross-check against the time-window recorder (which
+        counted those packets' enqueues) would come up short. Each flight
+        ends at its own last recorded hop time. Returns the number sealed.
+        """
+        sealed = 0
+        for packet in self._open:
+            hops = packet.flight
+            if hops is None:
+                continue
+            last = hops[-1]
+            t_end = last.t_out if last.t_out is not None else last.t_in
+            self.complete(packet, t_end, status)
+            sealed += 1
+        self._open = []
+        return sealed
+
     def close(self) -> None:
+        self.finalize()
         for sink in self._sinks:
             sink.close()
 
@@ -475,4 +564,9 @@ def read_flights_jsonl(path: str) -> Iterator[Flight]:
             line = line.strip()
             if not line:
                 continue
-            yield Flight.from_dict(json.loads(line))
+            data = json.loads(line)
+            if data.get("type") == "ring_meta":
+                # Bounded-sink header: the file holds only the newest
+                # ``max_flights`` flights; not a flight itself.
+                continue
+            yield Flight.from_dict(data)

@@ -16,6 +16,8 @@ them back.
 from __future__ import annotations
 
 import json
+import random
+import zlib
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
@@ -64,39 +66,91 @@ class Gauge:
         self.value = float(value)
 
 
+#: Default histogram reservoir size: enough for stable p99 estimates while
+#: keeping always-on runs at flat memory regardless of observation count.
+DEFAULT_SAMPLE_CAP = 4096
+
+
 class Histogram:
-    """A distribution summarized at snapshot time (delays, gaps, sizes)."""
+    """A distribution summarized at snapshot time (delays, gaps, sizes).
 
-    __slots__ = ("name", "labels", "_values")
+    Memory is bounded: beyond ``sample_cap`` observations the stored
+    values become a uniform reservoir sample (Vitter's Algorithm R,
+    seeded from the metric identity so runs are reproducible) while
+    ``count``/``min``/``max``/``mean`` stay exact. Collectors that feed a
+    histogram incrementally by slicing their source list from
+    ``hist.count`` rely on that exactness — the count is the number of
+    observations, never the reservoir size.
+    """
 
-    def __init__(self, name: str, labels: LabelKey) -> None:
+    __slots__ = ("name", "labels", "sample_cap", "_values", "_n", "_min", "_max", "_sum", "_rng")
+
+    def __init__(
+        self, name: str, labels: LabelKey, sample_cap: int = DEFAULT_SAMPLE_CAP
+    ) -> None:
+        if sample_cap < 1:
+            raise ConfigurationError(
+                f"histogram {name}: sample_cap must be positive, got {sample_cap}"
+            )
         self.name = name
         self.labels = labels
+        self.sample_cap = sample_cap
         self._values: List[float] = []
+        self._n = 0
+        self._min = 0.0
+        self._max = 0.0
+        self._sum = 0.0
+        # Deterministic per-metric seed (hash() is randomized per process,
+        # which would break cross-run and cross-worker reproducibility).
+        self._rng = random.Random(
+            zlib.crc32(repr((name, labels)).encode("utf-8"))
+        )
 
     def observe(self, value: float) -> None:
-        self._values.append(float(value))
+        value = float(value)
+        if self._n == 0 or value < self._min:
+            self._min = value
+        if self._n == 0 or value > self._max:
+            self._max = value
+        self._sum += value
+        if self._n < self.sample_cap:
+            self._values.append(value)
+        else:
+            slot = self._rng.randrange(self._n + 1)
+            if slot < self.sample_cap:
+                self._values[slot] = value
+        self._n += 1
 
     def observe_many(self, values) -> None:
-        self._values.extend(float(v) for v in values)
+        for value in values:
+            self.observe(value)
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        """Exact number of observations (not the retained sample size)."""
+        return self._n
+
+    @property
+    def sampled(self) -> bool:
+        """True once the reservoir has started subsampling."""
+        return self._n > self.sample_cap
 
     def summary(self) -> dict:
-        values = self._values
-        if not values:
+        if self._n == 0:
             return {"count": 0}
-        return {
-            "count": len(values),
-            "min": min(values),
-            "max": max(values),
-            "mean": sum(values) / len(values),
+        values = self._values
+        out = {
+            "count": self._n,
+            "min": self._min,
+            "max": self._max,
+            "mean": self._sum / self._n,
             "p50": percentile(values, 50.0),
             "p95": percentile(values, 95.0),
             "p99": percentile(values, 99.0),
         }
+        if self.sampled:
+            out["sample_size"] = len(values)
+        return out
 
 
 class MetricsRegistry:
@@ -124,11 +178,16 @@ class MetricsRegistry:
             metric = self._gauges[key] = Gauge(name, key[1])
         return metric
 
-    def histogram(self, name: str, **labels: object) -> Histogram:
+    def histogram(
+        self, name: str, sample_cap: Optional[int] = None, **labels: object
+    ) -> Histogram:
+        """Get-or-create; ``sample_cap`` applies only at creation time
+        (an existing series keeps the reservoir it was born with)."""
         key = (name, _label_key(labels))
         metric = self._histograms.get(key)
         if metric is None:
-            metric = self._histograms[key] = Histogram(name, key[1])
+            cap = DEFAULT_SAMPLE_CAP if sample_cap is None else sample_cap
+            metric = self._histograms[key] = Histogram(name, key[1], sample_cap=cap)
         return metric
 
     # -- collectors ------------------------------------------------------------

@@ -30,6 +30,7 @@ from .audit import RunAuditor
 from .flightrec import FlightRecorder
 from .metrics import MetricsRegistry
 from .profiler import SimProfiler
+from .timewin import TimeWindowRecorder
 from .tracebus import JsonlSink, RingBufferSink, SummarySink, TraceBus
 
 #: Module-global ambient telemetry; see :meth:`Telemetry.activate`.
@@ -54,6 +55,9 @@ class Telemetry:
         self.flightrec: Optional[FlightRecorder] = None
         #: Conservation-law auditor; install with :meth:`enable_audit`.
         self.auditor: Optional[RunAuditor] = None
+        #: Fixed-memory time-window recorder; install with
+        #: :meth:`enable_time_windows` *before* building the network.
+        self.timewin: Optional[TimeWindowRecorder] = None
 
     # -- switches --------------------------------------------------------------
 
@@ -70,20 +74,53 @@ class Telemetry:
             self.profiler = SimProfiler()
         return self.profiler
 
-    def enable_flight_recording(self, jsonl_path: Optional[str] = None) -> FlightRecorder:
+    def enable_flight_recording(
+        self,
+        jsonl_path: Optional[str] = None,
+        max_flights: Optional[int] = None,
+    ) -> FlightRecorder:
         """Install (and return) the INT flight recorder; implies ``enable()``.
 
         Must run before the network is built — data-plane components cache
         ``telemetry.flightrec`` at construction, mirroring the TraceBus
         guard. ``jsonl_path`` additionally streams completed flights to a
-        file readable by ``repro telemetry flights``.
+        file readable by ``repro telemetry flights``; ``max_flights``
+        bounds that file to the most recent flights (``--flight-max``).
         """
         self.enabled = True
         if self.flightrec is None:
             self.flightrec = FlightRecorder()
         if jsonl_path is not None:
-            self.flightrec.add_jsonl(jsonl_path)
+            self.flightrec.add_jsonl(jsonl_path, max_flights=max_flights)
         return self.flightrec
+
+    def enable_time_windows(
+        self,
+        window_s: Optional[float] = None,
+        num_windows: Optional[int] = None,
+        slots_log2: Optional[int] = None,
+    ) -> TimeWindowRecorder:
+        """Install (and return) the time-window recorder; implies ``enable()``.
+
+        Must run before the network is built — data-plane components
+        cache ``telemetry.timewin`` at construction, exactly like the
+        flight recorder. Unlike flight recording, the windows keep fixed
+        memory per port regardless of run length, so this layer is safe
+        to leave always-on. Omitted parameters keep the recorder
+        defaults (1 ms windows x 32 retained x 64 flow slots).
+        """
+        self.enabled = True
+        if self.timewin is None:
+            kwargs = {}
+            if window_s is not None:
+                kwargs["window_s"] = window_s
+            if num_windows is not None:
+                kwargs["num_windows"] = num_windows
+            if slots_log2 is not None:
+                kwargs["slots_log2"] = slots_log2
+            self.timewin = TimeWindowRecorder(**kwargs)
+            self.metrics.add_collector(self.timewin.collect_metrics)
+        return self.timewin
 
     def enable_audit(self, strict: bool = False) -> RunAuditor:
         """Attach (and return) a conservation-law auditor; implies ``enable()``."""

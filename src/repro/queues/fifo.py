@@ -114,8 +114,11 @@ class PhysicalFifoQueue(QueueDiscipline):
         # the ``tele.enabled`` load per packet for nothing.
         self._tele = telemetry if telemetry is not None and telemetry.enabled else None
         self._flight = self._tele.flightrec if self._tele is not None else None
+        self._timewin = self._tele.timewin if self._tele is not None else None
         if self._tele is not None:
             self._tele.metrics.add_collector(self._collect_metrics)
+        if self._timewin is not None and name:
+            self._timewin.register_port(name)
 
     def _collect_metrics(self, registry) -> None:
         stats = self.stats
@@ -167,6 +170,12 @@ class PhysicalFifoQueue(QueueDiscipline):
                         packet, self.name, now, "buffer", depth=float(self._bytes)
                     )
                     fr.complete(packet, now, "dropped", node=self.name)
+                tw = self._timewin
+                if tw is not None:
+                    tw.on_drop(
+                        self.name, packet.flow_id, packet.aq_ingress_id,
+                        packet.size, now,
+                    )
             return False
         if (
             self.ecn_threshold_bytes is not None
@@ -205,6 +214,12 @@ class PhysicalFifoQueue(QueueDiscipline):
                                 packet, self.name, now, "red", depth=float(self._bytes)
                             )
                             fr.complete(packet, now, "dropped", node=self.name)
+                        tw = self._timewin
+                        if tw is not None:
+                            tw.on_drop(
+                                self.name, packet.flow_id, packet.aq_ingress_id,
+                                packet.size, now,
+                            )
                     return False
         packet.enqueue_time = now
         self._queue.append(packet)
@@ -223,6 +238,14 @@ class PhysicalFifoQueue(QueueDiscipline):
             fr = self._flight
             if fr is not None and packet.flight is not None:
                 fr.queue_hop(packet, self.name, now, float(self._bytes))
+            # Same post-enqueue backlog the flight hop carries, so window
+            # high-waters and FlightIndex ground truth agree exactly.
+            tw = self._timewin
+            if tw is not None:
+                tw.on_enqueue(
+                    self.name, packet.flow_id, packet.aq_ingress_id,
+                    packet.size, float(self._bytes), now,
+                )
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
@@ -271,6 +294,12 @@ class PhysicalFifoQueue(QueueDiscipline):
                         packet, self.name, now, reason, depth=float(self._bytes)
                     )
                     fr.complete(packet, now, "dropped", node=self.name)
+                tw = self._timewin
+                if tw is not None:
+                    tw.on_drop(
+                        self.name, packet.flow_id, packet.aq_ingress_id,
+                        packet.size, now,
+                    )
             drained.append(packet)
         return drained
 

@@ -85,6 +85,13 @@ class MultiQueuePort(QueueDiscipline):
         self._rr_index = 0
         self._deficits = [0.0] * num_queues
         self._quantum = 1500.0
+        # Sub-queues attribute flows under "<base>.qN"; the port itself
+        # contributes only the summed-backlog depth samples the per-class
+        # windows cannot derive (their high-waters never coincide).
+        tele = telemetry if telemetry is not None and telemetry.enabled else None
+        self._timewin = tele.timewin if tele is not None else None
+        if self._timewin is not None and name:
+            self._timewin.register_port(name)
 
     # -- QueueDiscipline -----------------------------------------------------
 
@@ -94,7 +101,11 @@ class MultiQueuePort(QueueDiscipline):
             raise ConfigurationError(
                 f"classifier returned queue {index} of {self.num_queues}"
             )
-        return self.queues[index].enqueue(packet, now)
+        accepted = self.queues[index].enqueue(packet, now)
+        tw = self._timewin
+        if tw is not None and accepted and self.name:
+            tw.on_depth(self.name, float(self.bytes_queued), now)
+        return accepted
 
     def dequeue(self, now: float) -> Optional[Packet]:
         if self.scheduler == STRICT_PRIORITY:
