@@ -17,6 +17,7 @@ from repro.harness.hotpath import (
     ENGINE_BENCHES,
     bench_backlogged_link,
     bench_fire_chain,
+    bench_fluid_speedup,
     bench_idle_link,
     bench_timer_churn,
     bench_timewin_overhead,
@@ -77,6 +78,17 @@ def test_engine_timewin_overhead(once):
     assert result["evicted_windows"] == (
         result["windows_spanned"] - result["retained_windows"]
     )
+
+
+def test_engine_fluid_speedup(once):
+    result = _record("fluid_speedup", once(bench_fluid_speedup))
+    # The analytic fast path must actually engage (closed-form epochs, not
+    # a silent fallback to packet mode) and pay off by >=10x wall-clock on
+    # the stable backlogged scenario it is designed for, while delivering
+    # the same bytes to within the documented equivalence tolerance.
+    assert result["fluid_epochs"] > 0
+    assert result["speedup_ratio"] >= result["target_speedup"]
+    assert result["delivered_rel_err"] <= 0.01
 
 
 def test_engine_write_baseline(once):

@@ -96,12 +96,14 @@ class AugmentedQueue:
         self.position = ""
         self._tele = telemetry if telemetry is not None and telemetry.enabled else None
         self._flight = self._tele.flightrec if self._tele is not None else None
-        self._timewin = self._tele.timewin if self._tele is not None else None
+        tw = self._tele.timewin if self._tele is not None else None
         #: Window-recorder node label: the virtual queue is attributed like
-        #: a port, with the A-Gap standing in for physical backlog.
+        #: a port, with the A-Gap standing in for physical backlog. The
+        #: handle binds the label once so the admit path skips the lookup.
         self._timewin_node = f"aq{aq_id}" if not entity else f"aq{aq_id}:{entity}"
-        if self._timewin is not None:
-            self._timewin.register_port(self._timewin_node)
+        self._timewin = (
+            tw.port_handle(self._timewin_node) if tw is not None else None
+        )
         #: Last rate announced on the trace (``aq_rate`` events let the run
         #: auditor replay the Theorem 3.2 recurrence with the right R).
         self._traced_rate: Optional[float] = None
@@ -144,6 +146,45 @@ class AugmentedQueue:
 
     def current_gap(self, now: float) -> float:
         return self.tracker.peek(now)
+
+    # -- fluid fast path (driven by :mod:`repro.sim.fluid`) -----------------------
+
+    def fluid_announce_rate(self, now: float) -> None:
+        """Emit an ``aq_rate`` event so the auditor's Theorem 3.2 replay
+        knows the drain rate in force before the first analytic epoch
+        (mirrors the lazy per-packet announce in :meth:`process`)."""
+        tele = self._tele
+        if tele is None or not tele.enabled:
+            return
+        if self._traced_rate != self.tracker.rate_bps:
+            self._traced_rate = self.tracker.rate_bps
+            tele.trace.emit_fields(
+                EV_AQ_RATE, now, aq_id=self.aq_id, value=self._traced_rate
+            )
+
+    def fluid_advance(
+        self,
+        now: float,
+        gap: float,
+        arrived_bytes: int,
+        arrived_packets: int,
+        dropped_bytes: int = 0,
+        dropped_packets: int = 0,
+    ) -> None:
+        """Adopt a closed-form epoch result: re-anchor the tracker at
+        ``(now, gap)`` and book the epoch's aggregate counters. The caller
+        (the fluid engine) has already advanced the recurrence analytically
+        and emitted the matching trace events."""
+        tracker = self.tracker
+        tracker.gap = gap
+        tracker.last_time = now
+        stats = self.stats
+        stats.arrived_packets += arrived_packets
+        stats.arrived_bytes += arrived_bytes
+        stats.dropped_packets += dropped_packets
+        stats.dropped_bytes += dropped_bytes
+        if gap > stats.max_gap:
+            stats.max_gap = gap
 
     # -- data path (Algorithms 1 + 2) ------------------------------------------------
 
@@ -192,19 +233,13 @@ class AugmentedQueue:
                 )
             tw = self._timewin
             if tw is not None:
-                tw.on_drop(
-                    self._timewin_node, packet.flow_id, self.aq_id,
-                    packet.size, now,
-                )
+                tw.on_drop(packet.flow_id, self.aq_id, packet.size, now)
             return False
         tw = self._timewin
         if tw is not None:
             # Who is building this *virtual* queue: the accepted packet's
             # flow, with the post-arrival A-Gap as the depth sample.
-            tw.on_enqueue(
-                self._timewin_node, packet.flow_id, self.aq_id,
-                packet.size, gap, now,
-            )
+            tw.on_enqueue(packet.flow_id, self.aq_id, packet.size, gap, now)
         if self.record_delays:
             stats.delay_samples.append(self.tracker.virtual_queuing_delay())
         kind = self.policy.kind

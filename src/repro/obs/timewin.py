@@ -469,12 +469,99 @@ class _PortWindows:
         self.collisions = 0
 
 
+class PortHandle:
+    """Pre-bound fast-path writer for one port.
+
+    Components obtain one via :meth:`TimeWindowRecorder.port_handle` at
+    construction and call its hooks without the port name. Binding once
+    removes the per-record port lookup, and caching the active window
+    with its precomputed end time turns the window check into a single
+    float compare (``now >= _t1``) instead of a division plus a ``seq``
+    comparison — the record path is what every accepted packet pays, so
+    it has to be as close to free as Python allows.
+
+    The cache cannot go stale silently: the active window only changes
+    when simulated time crosses a window boundary (which the ``_t1``
+    compare catches, time being monotonic) or when
+    :meth:`TimeWindowRecorder.flip_all` seals mid-window — and that
+    path explicitly invalidates every handle.
+    """
+
+    __slots__ = ("_recorder", "_port", "_win", "_t1", "_mask", "records")
+
+    def __init__(self, recorder: "TimeWindowRecorder", port: _PortWindows) -> None:
+        self._recorder = recorder
+        self._port = port
+        self._win: Optional[_Window] = None
+        self._t1 = 0.0
+        self._mask = recorder._mask
+        self.records = 0
+
+    def _refresh(self, now: float) -> _Window:
+        """Slow path: re-derive the active window and cache its end time."""
+        rec = self._recorder
+        seq = int(now / rec.window_s)
+        port = self._port
+        window = port.active
+        if window is None or window.seq != seq:
+            window = rec._window_for(port, seq)
+        self._win = window
+        self._t1 = (seq + 1) * rec.window_s
+        return window
+
+    def on_enqueue(
+        self, flow_id: int, tenant_id: int, size: int, depth: float, now: float
+    ) -> None:
+        """Same contract as :meth:`TimeWindowRecorder.on_enqueue`, port-bound."""
+        window = self._win
+        if window is None or now >= self._t1:
+            window = self._refresh(now)
+        self.records += 1
+        window.total_bytes += size
+        window.total_pkts += 1
+        if depth > window.high_water:
+            window.high_water = depth
+        tenants = window.tenant_bytes
+        tenants[tenant_id] = tenants.get(tenant_id, 0) + size
+        index = flow_id & self._mask
+        slot_flow = window.slot_flow[index]
+        if slot_flow == flow_id:
+            window.slot_bytes[index] += size
+            window.slot_pkts[index] += 1
+        elif slot_flow == -1:
+            window.slot_flow[index] = flow_id
+            window.slot_tenant[index] = tenant_id
+            window.slot_bytes[index] = size
+            window.slot_pkts[index] = 1
+            window.touched.append(index)
+        else:
+            window.collision_bytes += size
+            window.collision_pkts += 1
+            self._port.collisions += 1
+
+    def on_depth(self, depth: float, now: float) -> None:
+        """Same contract as :meth:`TimeWindowRecorder.on_depth`, port-bound."""
+        window = self._win
+        if window is None or now >= self._t1:
+            window = self._refresh(now)
+        if depth > window.high_water:
+            window.high_water = depth
+
+    def on_drop(self, flow_id: int, tenant_id: int, size: int, now: float) -> None:
+        """Same contract as :meth:`TimeWindowRecorder.on_drop`, port-bound."""
+        window = self._win
+        if window is None or now >= self._t1:
+            window = self._refresh(now)
+        window.dropped_bytes += size
+        window.dropped_pkts += 1
+
+
 class TimeWindowRecorder(WindowQueryAPI):
     """Always-on, fixed-memory queue-buildup attribution.
 
     Install via :meth:`repro.obs.telemetry.Telemetry.enable_time_windows`
-    *before* building the network — data-plane components cache the
-    recorder reference at construction, exactly like the flight
+    *before* building the network — data-plane components cache a
+    :class:`PortHandle` at construction, exactly like the flight
     recorder. Every hook is a plain method call guarded by one cached
     ``is not None`` check at the call site, and recording perturbs
     nothing: no RNG draws, no packet mutation, so runs are digest-
@@ -502,6 +589,7 @@ class TimeWindowRecorder(WindowQueryAPI):
         self.slots = 1 << slots_log2
         self._mask = self.slots - 1
         self._ports: Dict[str, _PortWindows] = {}
+        self._handles: List[PortHandle] = []
         self.records = 0
 
     # -- wiring ------------------------------------------------------------
@@ -510,6 +598,19 @@ class TimeWindowRecorder(WindowQueryAPI):
         """Pre-create a port so idle ports answer queries (as empty)."""
         if name not in self._ports:
             self._ports[name] = _PortWindows(name)
+
+    def port_handle(self, name: str) -> PortHandle:
+        """Bind a :class:`PortHandle` to ``name`` (creating the port).
+
+        Multiple handles on the same port are fine — they share the
+        port's window state and only cache the lookup.
+        """
+        port = self._ports.get(name)
+        if port is None:
+            port = self._ports[name] = _PortWindows(name)
+        handle = PortHandle(self, port)
+        self._handles.append(handle)
+        return handle
 
     def _window_for(self, port: _PortWindows, seq: int) -> _Window:
         """Slow path of the active-window lookup (miss, flip, or first write).
@@ -681,12 +782,17 @@ class TimeWindowRecorder(WindowQueryAPI):
                 record.evicted += 1
                 record.spare = evicted
             record.active = None
+        # Sealing can land mid-window, which the handles' time-based
+        # check cannot see — drop their caches so a later write opens a
+        # fresh window instead of mutating a sealed one.
+        for handle in self._handles:
+            handle._win = None
 
     def stats(self) -> dict:
         """Run-level counters (flips, collisions, evictions, memory)."""
         return {
             "ports": len(self._ports),
-            "records": self.records,
+            "records": self.records + sum(h.records for h in self._handles),
             "flips": sum(p.flips for p in self._ports.values()),
             "collisions": sum(p.collisions for p in self._ports.values()),
             "evicted_windows": sum(p.evicted for p in self._ports.values()),

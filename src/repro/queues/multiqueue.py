@@ -89,9 +89,11 @@ class MultiQueuePort(QueueDiscipline):
         # contributes only the summed-backlog depth samples the per-class
         # windows cannot derive (their high-waters never coincide).
         tele = telemetry if telemetry is not None and telemetry.enabled else None
-        self._timewin = tele.timewin if tele is not None else None
-        if self._timewin is not None and name:
-            self._timewin.register_port(name)
+        tw = tele.timewin if tele is not None else None
+        # The port only records when named — sub-queues carry their own
+        # "<base>.qN" handles and the unnamed composite has no label to
+        # attribute the summed backlog to.
+        self._timewin = tw.port_handle(name) if tw is not None and name else None
 
     # -- QueueDiscipline -----------------------------------------------------
 
@@ -103,8 +105,8 @@ class MultiQueuePort(QueueDiscipline):
             )
         accepted = self.queues[index].enqueue(packet, now)
         tw = self._timewin
-        if tw is not None and accepted and self.name:
-            tw.on_depth(self.name, float(self.bytes_queued), now)
+        if tw is not None and accepted:
+            tw.on_depth(float(self.bytes_queued), now)
         return accepted
 
     def dequeue(self, now: float) -> Optional[Packet]:

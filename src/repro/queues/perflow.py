@@ -102,11 +102,10 @@ class PerFlowQueue(QueueDiscipline):
         self.peak_queue_count = 0
         self._tele = telemetry if telemetry is not None and telemetry.enabled else None
         self._flight = self._tele.flightrec if self._tele is not None else None
-        self._timewin = self._tele.timewin if self._tele is not None else None
+        tw = self._tele.timewin if self._tele is not None else None
+        self._timewin = tw.port_handle(name) if tw is not None else None
         if self._tele is not None:
             self._tele.metrics.add_collector(self._collect_metrics)
-        if self._timewin is not None and name:
-            self._timewin.register_port(name)
 
     def _collect_metrics(self, registry) -> None:
         label = self.name or f"perflow@{id(self):x}"
@@ -139,9 +138,7 @@ class PerFlowQueue(QueueDiscipline):
             fr.complete(packet, now, "dropped", node=self.name)
         tw = self._timewin
         if tw is not None:
-            tw.on_drop(
-                self.name, packet.flow_id, packet.aq_ingress_id, packet.size, now
-            )
+            tw.on_drop(packet.flow_id, packet.aq_ingress_id, packet.size, now)
 
     def enqueue(self, packet: Packet, now: float) -> bool:
         key = self.key_fn(packet)
@@ -172,7 +169,7 @@ class PerFlowQueue(QueueDiscipline):
         tw = self._timewin
         if tw is not None:
             tw.on_enqueue(
-                self.name, packet.flow_id, packet.aq_ingress_id,
+                packet.flow_id, packet.aq_ingress_id,
                 packet.size, float(self._bytes), now,
             )
         return True

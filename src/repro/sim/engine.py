@@ -346,6 +346,28 @@ class Simulator:
         heap = self._heap
         return heap[0].time if heap else None
 
+    def advance_to(self, time: float) -> None:
+        """Jump the clock straight to ``time`` without processing events.
+
+        This is the fluid fast path's epoch skip: the caller has advanced
+        the world analytically and only needs the clock to agree. It is an
+        error to jump backwards, to jump past a pending event (that event
+        would then fire in the past), or to call this from inside a
+        callback (the run loop owns the clock while it is running).
+        """
+        if self._running:
+            raise SimulationError("advance_to cannot be called from inside run()")
+        if time < self._now:
+            raise SimulationError(
+                f"advance_to would move the clock backwards ({time} < {self._now})"
+            )
+        nxt = self.peek_time()
+        if nxt is not None and nxt < time:
+            raise SimulationError(
+                f"advance_to({time}) would skip a pending event at {nxt}"
+            )
+        self._now = time
+
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events in the calendar. O(1): a live
         counter is maintained on schedule/cancel/pop."""

@@ -46,12 +46,13 @@ class UdpSender:
         self.aq_egress_id = aq_egress_id
         self.bytes_sent = 0
         self.packets_sent = 0
+        self.start_time = start_time
         self._interval = transmission_time(packet_size, rate_bps)
         self._stopped = False
         tele = sim.telemetry
         if tele is not None and tele.enabled:
             tele.metrics.add_collector(self._collect_metrics)
-        sim.schedule_at(start_time, self._send_next)
+        self._pending = sim.schedule_at(start_time, self._send_next)
 
     def _collect_metrics(self, registry) -> None:
         labels = {"flow_id": self.flow_id, "transport": "udp"}
@@ -62,8 +63,43 @@ class UdpSender:
     def stop(self) -> None:
         self._stopped = True
 
+    # -- fluid fast-path hooks (driven by repro.sim.fluid) ---------------------
+
+    def is_active(self, now: float) -> bool:
+        """True when the sender would emit a packet at ``now`` (started,
+        not stopped, bytes budget not exhausted)."""
+        if self._stopped or now < self.start_time:
+            return False
+        if self.stop_time is not None and now >= self.stop_time:
+            return False
+        if self.total_bytes is not None and self.bytes_sent >= self.total_bytes:
+            return False
+        return True
+
+    def fluid_pause(self):
+        """Cancel the pending send event so the fluid engine can account
+        for this sender analytically. Returns the cancelled send's
+        scheduled time (or ``None``), so an engagement that closes no
+        epochs can restore the exact per-packet cadence."""
+        if self._pending is not None:
+            next_send = self._pending.time
+            self._pending.cancel()
+            self._pending = None
+            return next_send
+        return None
+
+    def fluid_emit(self, nbytes: int, npackets: int) -> None:
+        """Book ``npackets`` whole packets emitted during a fluid epoch."""
+        self.bytes_sent += nbytes
+        self.packets_sent += npackets
+
+    def fluid_resume(self, next_time: float) -> None:
+        """Re-arm the per-packet send loop at ``next_time``."""
+        self._pending = self.sim.schedule_at(next_time, self._send_next)
+
     def _send_next(self) -> None:
         now = self.sim.now
+        self._pending = None
         if self._stopped:
             return
         if self.stop_time is not None and now >= self.stop_time:
@@ -77,7 +113,7 @@ class UdpSender:
         self.host.send(packet)
         self.bytes_sent += self.packet_size
         self.packets_sent += 1
-        self.sim.schedule(self._interval, self._send_next)
+        self._pending = self.sim.schedule(self._interval, self._send_next)
 
 
 class UdpSink:
