@@ -1,0 +1,61 @@
+"""Sharded-fabric benchmarks: spawn-mode equivalence and window stitching.
+
+The ``engine/shard_speedup`` gate lives in ``bench_engine_hotpath.py``
+(it feeds BENCH_engine.json); this file covers the *correctness* half of
+the scaling story at record scale:
+
+* spawn-isolated workers produce the same results digest as the
+  in-process lockstep driver and the 1-shard run — the determinism
+  contract of docs/SCALING.md, checked across all three drivers;
+* per-shard time-window dumps stitch into one fabric-wide store that
+  answers ``who_built`` for ports owned by different workers.
+"""
+
+import pytest
+
+from repro.harness.fabric import run_share_fabric
+from repro.harness.report import print_experiment, render_table
+from repro.obs.timewin import stitch_window_dumps
+
+DURATION = 2e-3
+
+
+@pytest.fixture(scope="module")
+def inline_baseline():
+    return run_share_fabric(1, DURATION, inline=True, audit=True)
+
+
+def test_shard_spawn_equivalence(once, inline_baseline):
+    sharded = once(run_share_fabric, 4, DURATION, inline=False, audit=True)
+    assert sharded["audit"]["violation_count"] == 0
+    assert inline_baseline["audit"]["violation_count"] == 0
+    assert sharded["digest"] == inline_baseline["digest"]
+    assert sharded["results"]["events"] == inline_baseline["results"]["events"]
+    # Real cross-partition traffic, re-exported through two cuts.
+    assert sharded["boundary"]["exported"] > 0
+    assert sharded["boundary"]["exported"] >= sharded["boundary"]["imported"]
+    rows = [
+        ["shards=1 inline", inline_baseline["digest"][:16],
+         f"{inline_baseline['wall_s']:.2f}s"],
+        ["shards=4 spawn", sharded["digest"][:16], f"{sharded['wall_s']:.2f}s"],
+    ]
+    print_experiment(
+        "Sharded fabric equivalence (identical digests required)",
+        render_table(["run", "digest", "wall"], rows),
+    )
+
+
+def test_shard_fabric_stitch(once, tmp_path_factory):
+    out = tmp_path_factory.mktemp("shardwin")
+    report = once(
+        run_share_fabric, 2, DURATION, inline=True,
+        timewin_dir=str(out), timewin_params={"window_s": 0.25e-3},
+    )
+    store = stitch_window_dumps(
+        report["timewin_paths"], out_path=str(out / "merged.windows.jsonl")
+    )
+    # One store answers for ports recorded by different shards.
+    for port in ("agg0.core0", "agg1.core0"):
+        verdict = store.who_built(port, 0.0, DURATION)
+        assert verdict.coverage == "full"
+        assert verdict.total_bytes > 0

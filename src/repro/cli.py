@@ -25,6 +25,7 @@ from typing import List, Optional
 
 from .core.agap import simulate_discrepancy_control
 from .core.resources import memory_series, tofino_usage
+from .errors import ReproError
 from .harness.common import APPROACHES, EntitySpec, telemetry_session
 from .harness.report import (
     rate_range_str,
@@ -364,6 +365,123 @@ def cmd_fault_restart(args) -> int:
     ok = result.recovered(args.tolerance)
     print(f"recovered within {args.tolerance * 100:.0f}%: {'yes' if ok else 'NO'}")
     return 0 if ok else 1
+
+
+def cmd_share_fabric(args) -> int:
+    """Run the sharded fat-tree scenario: k lockstep partitions, one
+    digest. Telemetry here is per-partition (each worker owns its ports
+    and its slice of the conservation ledger), so this command manages
+    its own auditor/recorder flags instead of the global ambient ones."""
+    from .harness.fabric import run_share_fabric
+
+    fault_plan = None
+    if args.shard_faults is not None:
+        from .errors import FaultPlanError
+        from .faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_file(args.shard_faults).to_dict()
+        except FaultPlanError as exc:
+            print(f"invalid fault plan {args.shard_faults!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    timewin_params = None
+    if args.timewin_dir is not None and args.timewin_window_ms is not None:
+        timewin_params = {"window_s": args.timewin_window_ms * 1e-3}
+    try:
+        report = run_share_fabric(
+            args.shards,
+            args.duration_ms * 1e-3,
+            inline=args.inline,
+            audit=args.shard_audit,
+            timewin_dir=args.timewin_dir,
+            timewin_params=timewin_params,
+            fault_plan=fault_plan,
+            pods=args.pods,
+            tors_per_pod=args.tors_per_pod,
+            hosts_per_tor=args.hosts_per_tor,
+            num_cores=args.num_cores,
+            seed=args.seed,
+            intra_gbps=args.intra_gbps,
+            cross_gbps=args.cross_gbps,
+        )
+    except ReproError as exc:
+        print(f"share-fabric failed: {exc}", file=sys.stderr)
+        return 1
+
+    results = report["results"]
+    print(render_table(
+        ["shards", "epochs", "lookahead", "events", "boundary pkts", "wall"],
+        [[
+            str(report["shards"]), str(report["epochs"]),
+            f"{report['lookahead'] * 1e6:.0f}us", f"{results['events']:,}",
+            f"{report['boundary']['exported']:,}",
+            f"{report['wall_s']:.2f}s",
+        ]],
+    ))
+    delivered = sum(results["delivered_bytes"].values())
+    print(f"delivered: {delivered:,} bytes across "
+          f"{len(results['delivered_bytes'])} flows "
+          f"({report['mode']} mode)")
+    print(f"results digest: {report['digest']}")
+
+    status = 0
+    if args.shard_audit:
+        violations = report["audit"]["violation_count"]
+        print(f"audit: {report['audit']['events_seen']:,} events checked "
+              f"across {report['shards']} partition ledger(s), "
+              f"{violations} violation(s)")
+        if violations:
+            for verdict in report["audit"]["per_partition"]:
+                for violation in (verdict or {}).get("violations", [])[:5]:
+                    print(f"  {violation}", file=sys.stderr)
+            status = 1
+    if args.timewin_dir is not None:
+        print(f"per-shard windows: {len(report['timewin_paths'])} dumps "
+              f"-> {args.timewin_dir}")
+        if args.timewin_merged is not None:
+            from .obs.timewin import stitch_window_dumps
+
+            store = stitch_window_dumps(
+                report["timewin_paths"], out_path=args.timewin_merged
+            )
+            print(f"stitched fabric-wide store: {len(store.ports())} ports "
+                  f"-> {args.timewin_merged} "
+                  f"(query with: repro telemetry windows "
+                  f"{args.timewin_merged} --port PORT)")
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"full report -> {args.out}")
+    return status
+
+
+def cmd_telemetry_stitch(args) -> int:
+    """Stitch per-shard window dumps into one fabric-wide store."""
+    from .obs.timewin import stitch_window_dumps
+
+    try:
+        store = stitch_window_dumps(args.dumps, out_path=args.out)
+    except OSError as exc:
+        print(f"cannot read window dump: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"stitch failed: {exc}", file=sys.stderr)
+        return 1
+    rows = []
+    for port in store.ports()[: args.max_rows]:
+        views = store.views(port)
+        meta = store.port_meta(port)
+        rows.append([
+            port, str(len(views)),
+            str(meta.get("evicted_windows", 0)),
+        ])
+    print(render_table(["port", "windows", "evicted"], rows))
+    print(f"stitched {len(args.dumps)} dump(s), {len(store.ports())} ports "
+          f"-> {args.out}")
+    return 0
 
 
 def cmd_run_all(args) -> int:
@@ -815,6 +933,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_fault_restart, duration_ms=120.0)
 
     p = sub.add_parser(
+        "share-fabric",
+        help="shard one fat-tree fabric across lockstep workers",
+        description="Run the share-fabric scenario partitioned into "
+                    "--shards conservative-sync workers. Results digests "
+                    "are identical at any shard count; see "
+                    "docs/SCALING.md.",
+    )
+    p.add_argument("--shards", type=int, default=1,
+                   help="number of partitions/workers (default 1)")
+    p.add_argument("--duration-ms", type=float, default=2.0,
+                   help="simulated duration (default 2ms)")
+    p.add_argument("--pods", type=int, default=4)
+    p.add_argument("--tors-per-pod", type=int, default=2)
+    p.add_argument("--hosts-per-tor", type=int, default=2)
+    p.add_argument("--num-cores", type=int, default=2)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--intra-gbps", type=float, default=2.0,
+                   help="per-flow rate of intra-ToR flows (default 2)")
+    p.add_argument("--cross-gbps", type=float, default=3.0,
+                   help="per-flow rate of cross-pod flows (default 3)")
+    p.add_argument("--inline", action="store_true",
+                   help="drive every partition in this process (no "
+                        "worker spawns; same digest)")
+    p.add_argument("--audit", action="store_true", dest="shard_audit",
+                   help="attach a conservation auditor per partition; "
+                        "exit 1 on any violation")
+    p.add_argument("--faults", metavar="PLAN.JSON", default=None,
+                   dest="shard_faults",
+                   help="fault plan, filtered per partition by target "
+                        "owner (cut links belong to the sending side)")
+    p.add_argument("--timewin-dir", metavar="DIR", default=None,
+                   help="record per-partition time windows to "
+                        "DIR/shard<i>.windows.jsonl")
+    p.add_argument("--timewin-window-ms", type=float, default=None,
+                   help="window quantum in ms (default: recorder default)")
+    p.add_argument("--timewin-merged", metavar="MERGED.JSONL", default=None,
+                   help="also stitch the per-shard dumps into one "
+                        "fabric-wide store")
+    p.add_argument("--out", metavar="REPORT.JSON", default=None,
+                   help="write the full JSON report")
+    p.set_defaults(fn=cmd_share_fabric)
+
+    p = sub.add_parser(
         "run-all",
         help="run registered experiment jobs across worker processes",
         description="Fan the registered experiment jobs (the benchmark "
@@ -896,6 +1057,16 @@ def build_parser() -> argparse.ArgumentParser:
                          "record of the same run; exit 1 on mismatch")
     pw.add_argument("--max-rows", type=int, default=40)
     pw.set_defaults(fn=cmd_telemetry_windows)
+    pst = tsub.add_parser("stitch",
+                          help="stitch per-shard window dumps into one "
+                               "fabric-wide store")
+    pst.add_argument("dumps", nargs="+",
+                     help="per-shard JSONL dumps (share-fabric "
+                          "--timewin-dir)")
+    pst.add_argument("--out", required=True, metavar="MERGED.JSONL",
+                     help="where to write the merged store")
+    pst.add_argument("--max-rows", type=int, default=40)
+    pst.set_defaults(fn=cmd_telemetry_stitch)
 
     return parser
 

@@ -38,3 +38,9 @@ class FaultPlanError(ConfigurationError):
 class PartitionError(ReproError):
     """A control-plane operation was attempted while the controller is
     partitioned from the network (fault injection)."""
+
+
+class ShardError(ReproError):
+    """A sharded (multi-partition) run broke its synchronization contract:
+    a worker crashed or desynchronized, a boundary packet violated the
+    lookahead, or partitions disagreed on the epoch schedule."""

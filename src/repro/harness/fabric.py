@@ -1,0 +1,380 @@
+"""The ``share-fabric`` scenario: one fat-tree, shared by many flows,
+shardable across workers.
+
+This module is the glue between three layers:
+
+* :mod:`repro.topology.fattree` — builds one partition of the fabric
+  (or all of it) against a :class:`~repro.sim.shard.ShardRuntime`
+  boundary context;
+* :mod:`repro.sim.shard` — lockstep drivers (in-process and spawn);
+* the CLI / job families — which only deal in the JSON-safe dicts
+  produced here.
+
+The traffic matrix is enumerated **globally and deterministically**
+(:func:`fabric_flows`): every partition iterates the same list in the
+same order and instantiates only the endpoints it owns. Flow ids come
+from the enumeration index — never from a per-partition allocator — so
+ids, ECMP core choices (``flow_id % num_cores``), and RNG stream names
+are all independent of the shard count. That property is what makes
+``--shards 1`` and ``--shards k`` digest-identical (the ``shard/equiv/*``
+jobs assert it).
+
+Two flow kinds per the ISSUE's edge cases:
+
+* *intra-ToR* — ``h{p}-{i}-{j} -> h{p}-{i}-{j+1}``: never crosses a cut;
+* *cross-pod* — ``h{p}-{i}-0 -> h{p+1}-{i}-0``: crosses **two** cuts
+  (agg->core, then core->agg), exercising re-export of imported packets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..faults.plan import FaultPlan
+from ..sim.shard import ShardRuntime, run_lockstep, run_sharded
+from ..topology.fattree import FatTree, FatTreeConfig, FatTreePlan, build_fattree
+from ..transport.udp import UdpSender, UdpSink
+from ..units import MTU_BYTES, gbps
+
+#: The worker target handed to :func:`repro.sim.shard.run_sharded`.
+BUILDER_TARGET = "repro.harness.fabric:build_fabric_partition"
+
+
+def fabric_config(
+    pods: int = 4,
+    tors_per_pod: int = 2,
+    hosts_per_tor: int = 2,
+    num_cores: int = 2,
+    seed: int = 1,
+) -> FatTreeConfig:
+    """The scenario's topology knobs (a JSON-safe subset of
+    :class:`FatTreeConfig`; line rates stay at their defaults)."""
+    return FatTreeConfig(
+        pods=pods,
+        tors_per_pod=tors_per_pod,
+        hosts_per_tor=hosts_per_tor,
+        num_cores=num_cores,
+        seed=seed,
+    )
+
+
+def fabric_flows(
+    config: FatTreeConfig,
+    intra_gbps: float = 2.0,
+    cross_gbps: float = 3.0,
+    packet_size: int = MTU_BYTES,
+) -> List[dict]:
+    """The global traffic matrix, in canonical order with canonical ids.
+
+    Intra-ToR flows first (every host to the next host under its ToR,
+    wrapping), then cross-pod flows (the ``j == 0`` host of every ToR to
+    its counterpart in the next pod, wrapping). Ids are ``1..N`` in this
+    order.
+    """
+    flows: List[dict] = []
+
+    def add(src: str, dst: str, rate: float) -> None:
+        flows.append({
+            "flow_id": len(flows) + 1,
+            "src": src,
+            "dst": dst,
+            "rate_bps": rate,
+            "packet_size": packet_size,
+        })
+
+    if config.hosts_per_tor > 1 and intra_gbps > 0:
+        for p in range(config.pods):
+            for i in range(config.tors_per_pod):
+                for j in range(config.hosts_per_tor):
+                    add(
+                        config.host_name(p, i, j),
+                        config.host_name(p, i, (j + 1) % config.hosts_per_tor),
+                        gbps(intra_gbps),
+                    )
+    if config.pods > 1 and cross_gbps > 0:
+        for p in range(config.pods):
+            for i in range(config.tors_per_pod):
+                add(
+                    config.host_name(p, i, 0),
+                    config.host_name((p + 1) % config.pods, i, 0),
+                    gbps(cross_gbps),
+                )
+    return flows
+
+
+def build_fabric_partition(
+    partition: int,
+    shards: int,
+    pods: int = 4,
+    tors_per_pod: int = 2,
+    hosts_per_tor: int = 2,
+    num_cores: int = 2,
+    seed: int = 1,
+    intra_gbps: float = 2.0,
+    cross_gbps: float = 3.0,
+    packet_size: int = MTU_BYTES,
+) -> Tuple[ShardRuntime, Callable[[], dict]]:
+    """Build one partition of the scenario. Worker-target signature:
+    every argument is JSON-safe, and the return is ``(runtime,
+    finalize)`` where ``finalize()`` yields this partition's slice of the
+    results (all slices are disjoint; see :func:`merge_results`).
+
+    Ambient context (telemetry, fault plan) must be activated by the
+    caller *around* this call — the runner worker and
+    :func:`run_share_fabric` both do.
+    """
+    config = fabric_config(pods, tors_per_pod, hosts_per_tor, num_cores, seed)
+    plan = FatTreePlan(config, shards)
+    runtime = ShardRuntime(partition, plan)
+    tree = build_fattree(config, boundary=runtime)
+    net = tree.network
+    runtime.attach_network(net)
+
+    sinks: Dict[int, UdpSink] = {}
+    senders: Dict[int, UdpSender] = {}
+    for flow in fabric_flows(config, intra_gbps, cross_gbps, packet_size):
+        # Sink before sender, mirroring UdpFlow construction order.
+        if tree.owns(flow["dst"]):
+            sinks[flow["flow_id"]] = UdpSink(
+                net.hosts[flow["dst"]], flow["flow_id"]
+            )
+        if tree.owns(flow["src"]):
+            senders[flow["flow_id"]] = UdpSender(
+                net.sim,
+                net.hosts[flow["src"]],
+                flow["dst"],
+                flow["flow_id"],
+                flow["rate_bps"],
+                packet_size=flow["packet_size"],
+            )
+
+    def finalize() -> dict:
+        return {
+            "delivered_bytes": {
+                str(fid): sink.delivered_bytes for fid, sink in sinks.items()
+            },
+            "delivered_packets": {
+                str(fid): sink.delivered_packets for fid, sink in sinks.items()
+            },
+            "sent_bytes": {
+                str(fid): s.bytes_sent for fid, s in senders.items()
+            },
+            "switches": {
+                name: [
+                    sw.stats.forwarded_packets,
+                    sw.stats.ingress_dropped_packets,
+                    sw.stats.queue_dropped_packets,
+                ]
+                for name, sw in net.switches.items()
+            },
+            "cut_links": {
+                cut.name: net.links[cut.name].stats.delivered_packets
+                for cut in plan.cut_links()
+                if cut.src_partition == partition
+            },
+            "events": net.sim.events_processed,
+        }
+
+    return runtime, finalize
+
+
+def merge_results(slices: List[dict]) -> dict:
+    """Union the disjoint per-partition result slices into the fabric-
+    wide result. Event counts add; every other key must be disjoint."""
+    merged: dict = {
+        "delivered_bytes": {},
+        "delivered_packets": {},
+        "sent_bytes": {},
+        "switches": {},
+        "cut_links": {},
+        "events": 0,
+    }
+    for part in slices:
+        for key in ("delivered_bytes", "delivered_packets", "sent_bytes",
+                    "switches", "cut_links"):
+            overlap = merged[key].keys() & part[key].keys()
+            if overlap:
+                raise ConfigurationError(
+                    f"partition result slices overlap on {key}: {sorted(overlap)}"
+                )
+            merged[key].update(part[key])
+        merged["events"] += part["events"]
+    for key in ("delivered_bytes", "delivered_packets", "sent_bytes",
+                "switches", "cut_links"):
+        merged[key] = dict(sorted(merged[key].items()))
+    return merged
+
+
+def fabric_digest(merged: dict) -> str:
+    """Canonical hash of a merged result — the equivalence currency of
+    the ``shard/equiv/*`` jobs: identical across shard counts."""
+    blob = json.dumps(merged, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def filter_fault_plan(
+    plan_dict: dict, plan: FatTreePlan, partition: int
+) -> dict:
+    """Restrict a fault plan to the events whose target lives in
+    ``partition`` (targets with no node, e.g. controller partitions, go
+    to partition 0). Filtering preserves order, and the union over all
+    partitions is exactly the original plan — so per-partition injectors
+    reproduce the single-process schedule."""
+    full = FaultPlan.from_dict(plan_dict)
+    kept = [
+        event
+        for event in full.events
+        if (plan.owner_of_target(event.target) if event.target is not None else 0)
+        == partition
+    ]
+    return FaultPlan(seed=full.seed, events=kept).to_dict()
+
+
+def run_share_fabric(
+    shards: int,
+    duration: float,
+    inline: bool = False,
+    audit: bool = False,
+    timewin_dir: Optional[str] = None,
+    timewin_params: Optional[dict] = None,
+    fault_plan: Optional[dict] = None,
+    **config_kwargs,
+) -> dict:
+    """Run the scenario at ``shards`` partitions and return the merged,
+    digestable report.
+
+    ``inline=True`` drives every partition in this process via
+    :func:`~repro.sim.shard.run_lockstep` — required inside daemonic
+    harness workers (which may not spawn children) and used by the
+    equivalence tests; ``inline=False`` spawns one worker process per
+    partition via :func:`~repro.sim.shard.run_sharded`. Both produce
+    identical digests by construction.
+    """
+    config = fabric_config(**{
+        k: config_kwargs[k]
+        for k in ("pods", "tors_per_pod", "hosts_per_tor", "num_cores", "seed")
+        if k in config_kwargs
+    })
+    plan = FatTreePlan(config, shards)
+    fault_slices: Optional[List[Optional[dict]]] = None
+    if fault_plan is not None:
+        fault_slices = [
+            filter_fault_plan(fault_plan, plan, i) for i in range(shards)
+        ]
+
+    report: dict = {
+        "scenario": "share-fabric",
+        "shards": shards,
+        "duration": duration,
+        "lookahead": plan.lookahead,
+        "mode": "inline" if inline else "spawn",
+    }
+    t0 = time.perf_counter()
+    if inline:
+        import contextlib
+
+        from ..faults.injector import activate_fault_plan
+        from ..obs.telemetry import Telemetry
+
+        runtimes: List[ShardRuntime] = []
+        finalizers: List[Callable[[], dict]] = []
+        teles: List[Optional[Telemetry]] = []
+        for i in range(shards):
+            telemetry = None
+            if audit or timewin_dir is not None:
+                telemetry = Telemetry(enabled=True)
+                if audit:
+                    telemetry.enable_audit()
+                if timewin_dir is not None:
+                    telemetry.enable_time_windows(**(timewin_params or {}))
+            with contextlib.ExitStack() as stack:
+                if telemetry is not None:
+                    stack.enter_context(telemetry.activate())
+                if fault_slices is not None:
+                    stack.enter_context(
+                        activate_fault_plan(FaultPlan.from_dict(fault_slices[i]))
+                    )
+                runtime, finalize = build_fabric_partition(
+                    partition=i, shards=shards, **config_kwargs
+                )
+            runtimes.append(runtime)
+            finalizers.append(finalize)
+            teles.append(telemetry)
+        epochs = run_lockstep(runtimes, duration)
+        slices = [finalize() for finalize in finalizers]
+        workers = []
+        for i, telemetry in enumerate(teles):
+            worker: dict = {"partition": i, "status": "ok", "result": slices[i]}
+            worker["exported_packets"] = runtimes[i].exported_packets
+            worker["imported_packets"] = runtimes[i].imported_packets
+            if telemetry is not None:
+                telemetry.close()
+                if telemetry.timewin is not None and timewin_dir is not None:
+                    import os
+
+                    path = os.path.join(
+                        timewin_dir, f"shard{i}.windows.jsonl"
+                    )
+                    os.makedirs(timewin_dir, exist_ok=True)
+                    telemetry.timewin.dump_jsonl(path)
+                    worker["timewin_path"] = path
+                if telemetry.auditor is not None:
+                    verdict = telemetry.auditor.report()
+                    worker["audit"] = {
+                        "events_seen": verdict["events_seen"],
+                        "violation_count": verdict["violation_count"],
+                        "violations": verdict["violations"][:20],
+                    }
+            workers.append(worker)
+        report["epochs"] = epochs
+    else:
+        run = run_sharded(
+            BUILDER_TARGET,
+            config_kwargs,
+            shards,
+            duration,
+            plan.lookahead,
+            audit=audit,
+            timewin_dir=timewin_dir,
+            timewin_params=timewin_params,
+            fault_plans=fault_slices,
+        )
+        workers = run.workers
+        for i, worker in enumerate(workers):
+            if timewin_dir is not None:
+                import os
+
+                worker.setdefault(
+                    "timewin_path",
+                    os.path.join(timewin_dir, f"shard{i}.windows.jsonl"),
+                )
+        report["epochs"] = run.epochs
+        slices = run.results()
+
+    report["wall_s"] = time.perf_counter() - t0
+    merged = merge_results(slices)
+    report["results"] = merged
+    report["digest"] = fabric_digest(merged)
+    report["boundary"] = {
+        "exported": sum(w.get("exported_packets", 0) for w in workers),
+        "imported": sum(w.get("imported_packets", 0) for w in workers),
+    }
+    if audit:
+        report["audit"] = {
+            "violation_count": sum(
+                w.get("audit", {}).get("violation_count", 0) for w in workers
+            ),
+            "events_seen": sum(
+                w.get("audit", {}).get("events_seen", 0) for w in workers
+            ),
+            "per_partition": [w.get("audit") for w in workers],
+        }
+    if timewin_dir is not None:
+        report["timewin_paths"] = [
+            w.get("timewin_path") for w in workers if w.get("timewin_path")
+        ]
+    return report

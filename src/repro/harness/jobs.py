@@ -26,7 +26,9 @@ from .runner import JobSpec
 _HERE = __name__  # jobs resolve their targets from this module
 
 
-def _spec(name: str, func: str, timeout_s: float = 600.0, **kwargs) -> JobSpec:
+def _spec(
+    name: str, func: str, timeout_s: float = 600.0, daemon: bool = True, **kwargs
+) -> JobSpec:
     tags = (name.split("/", 1)[0],)
     return JobSpec(
         name=name,
@@ -34,6 +36,7 @@ def _spec(name: str, func: str, timeout_s: float = 600.0, **kwargs) -> JobSpec:
         kwargs=kwargs,
         tags=tags,
         timeout_s=timeout_s,
+        daemon=daemon,
     )
 
 
@@ -394,6 +397,64 @@ def job_fluid_equiv(
     return out
 
 
+def job_shard_equiv(
+    shards: int,
+    duration: float,
+    fault_blackout: Optional[Sequence[object]] = None,
+    **config_kwargs,
+) -> dict:
+    """Assert ``--shards 1`` and ``--shards k`` produce bit-identical
+    results digests, audit-clean, for one ``share-fabric`` scenario.
+
+    Runs both shard counts through the in-process lockstep driver (a
+    daemonic sweep worker may not spawn grandchildren; spawn-mode
+    equivalence is covered by ``engine/shard_speedup`` and the test
+    suite — all three drivers share one digest by construction).
+    ``fault_blackout`` = ``(link_name, down_at, up_at)`` additionally
+    runs the whole comparison under a cut-link blackout plan.
+    """
+    from .fabric import run_share_fabric
+
+    plan_dict = None
+    if fault_blackout is not None:
+        from ..faults.plan import link_blackout_plan
+
+        link, down_at, up_at = fault_blackout
+        plan_dict = link_blackout_plan(str(link), down_at, up_at).to_dict()
+
+    runs = {}
+    for k in (1, shards):
+        runs[k] = run_share_fabric(
+            k, duration, inline=True, audit=True,
+            fault_plan=plan_dict, **config_kwargs,
+        )
+        if runs[k]["audit"]["violation_count"]:
+            raise AssertionError(
+                f"shards={k}: conservation audit failed: "
+                f"{runs[k]['audit']['per_partition']}"
+            )
+    if runs[1]["digest"] != runs[shards]["digest"]:
+        raise AssertionError(
+            f"digest mismatch: shards=1 {runs[1]['digest']} != "
+            f"shards={shards} {runs[shards]['digest']}"
+        )
+    return {
+        "shards": shards,
+        "digest": runs[shards]["digest"],
+        "events": runs[shards]["results"]["events"],
+        "epochs": runs[shards]["epochs"],
+        "boundary": runs[shards]["boundary"],
+        "delivered_bytes_total": sum(
+            runs[shards]["results"]["delivered_bytes"].values()
+        ),
+        "blackout": fault_blackout is not None,
+        "timing": {
+            "serial_wall_s": runs[1]["wall_s"],
+            "sharded_wall_s": runs[shards]["wall_s"],
+        },
+    }
+
+
 def job_engine_bench(bench: str, **scale) -> dict:
     """One engine hot-path micro-benchmark; wall-clock fields go under
     ``"timing"`` so the sweep digest stays parallelism-independent."""
@@ -546,11 +607,33 @@ def default_jobs() -> List[JobSpec]:
             bottleneck_bps=_BOTTLENECK, duration=20e-3,
         ))
 
+    # Sharded-fabric equivalence: shards=1 vs shards=k must hash
+    # identically under the conservation auditor (docs/SCALING.md).
+    specs.append(_spec(
+        "shard/equiv/local-2", "job_shard_equiv",
+        shards=2, duration=2e-3, pods=2, cross_gbps=0.0,
+    ))
+    specs.append(_spec(
+        "shard/equiv/cross-4", "job_shard_equiv",
+        shards=4, duration=2e-3,
+    ))
+    specs.append(_spec(
+        "shard/equiv/blackout-2", "job_shard_equiv",
+        shards=2, duration=2e-3,
+        fault_blackout=["agg0->core1", 0.4e-3, 1.2e-3],
+    ))
+
     for bench in (
         "timer_churn", "fire_chain", "idle_link", "backlogged_link",
         "timewin_overhead", "fluid_speedup",
     ):
         specs.append(_spec(f"engine/{bench}", "job_engine_bench", bench=bench))
+    # Spawns its own shard workers, so its sweep worker must not be
+    # daemonic (daemonic processes cannot have children).
+    specs.append(_spec(
+        "engine/shard_speedup", "job_engine_bench",
+        bench="shard_speedup", daemon=False,
+    ))
 
     return specs
 

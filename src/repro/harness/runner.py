@@ -69,6 +69,11 @@ class JobSpec:
     kwargs: Mapping[str, object] = field(default_factory=dict)
     tags: Sequence[str] = ()
     timeout_s: float = 300.0
+    #: Workers are daemonic by default (the sweep can never leak a child
+    #: past the parent). A job that itself spawns processes — e.g. the
+    #: ``engine/shard_speedup`` bench launching shard workers — must opt
+    #: out, because daemonic processes may not have children.
+    daemon: bool = True
 
     def worker_seed(self) -> int:
         """Stable per-job seed (independent of Python's hash randomization)."""
@@ -209,6 +214,11 @@ def _spawn_safe_main():
         main.__file__ = path
 
 
+#: Public alias: the shard coordinator (:mod:`repro.sim.shard`) launches
+#: its own spawn-context workers and needs the same stdin-script guard.
+spawn_safe_main = _spawn_safe_main
+
+
 class _Running:
     __slots__ = ("spec", "attempt", "proc", "conn", "started")
 
@@ -288,7 +298,7 @@ def run_jobs(
             ),
         }
         proc = ctx.Process(
-            target=_worker_main, args=(payload, child_conn), daemon=True
+            target=_worker_main, args=(payload, child_conn), daemon=spec.daemon
         )
         proc.start()
         child_conn.close()

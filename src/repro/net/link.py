@@ -199,6 +199,76 @@ MODE_PACKET = "packet"
 MODE_FLUID = "fluid"
 
 
+def _boundary_trap(packet: Packet) -> None:  # pragma: no cover - never called
+    raise ConfigurationError("BoundaryLink delivers via capture, not a handler")
+
+
+class BoundaryLink(Link):
+    """The egress half of a *cut link* in a sharded run.
+
+    A sharded fabric (:mod:`repro.sim.shard`) splits the topology between
+    partitions; links whose endpoints live in different partitions cannot
+    deliver in-process. This proxy keeps the sending side's full packet
+    regime — queue, transmitter, serialization, fault injection — and
+    replaces delivery with a *capture*: the packet plus its computed
+    arrival time at the far end is appended to the epoch's outbound
+    boundary batch.
+
+    The base link's ``prop_delay`` is forced to zero and the real wire
+    delay kept as :attr:`wire_delay`, so the transmitter's idle-line
+    combined event fires at *end of serialization* (not arrival). That is
+    what makes conservative synchronization sound: a packet serialized
+    during epoch ``(T-L, T]`` is captured inside that epoch, and with
+    ``wire_delay >= L`` (the lookahead) its arrival ``now + wire_delay``
+    lands strictly after the barrier ``T`` — the receiving partition can
+    safely run to ``T`` before seeing it.
+
+    Fault injection composes: a ``link_down``/``packet_corruption`` fault
+    targeting the cut link drops at capture time in the *owning* shard,
+    with the usual drop accounting, so blackouts on cut links behave
+    identically at any shard count.
+    """
+
+    __slots__ = ("wire_delay", "link_id", "dest_partition", "capture", "exported")
+
+    def __init__(
+        self,
+        sim,
+        rate_bps: float,
+        prop_delay: float,
+        link_id: int,
+        dest_partition: int,
+        capture: Callable[["BoundaryLink", float, Packet], None],
+        name: str = "",
+    ) -> None:
+        super().__init__(sim, rate_bps, 0.0, _boundary_trap, name=name)
+        if prop_delay <= 0:
+            raise ConfigurationError(
+                f"cut link {name!r} needs positive propagation delay "
+                f"(it bounds the shard lookahead), got {prop_delay}"
+            )
+        self.wire_delay = prop_delay
+        self.link_id = link_id
+        self.dest_partition = dest_partition
+        self.capture = capture
+        #: Per-link departure counter; with the capture time and link id it
+        #: forms the partition-count-independent boundary ordering key.
+        self.exported = 0
+
+    def deliver(self, packet: Packet) -> None:
+        """Capture a fully-serialized packet instead of delivering it."""
+        if self._faulted and self._fault_drop(packet):
+            return
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += packet.size
+        self.capture(self, self.sim.now + self.wire_delay, packet)
+
+    # The idle-line fast path schedules at ``tx_end + prop_delay`` with
+    # ``prop_delay == 0``, so ``deliver_now`` also runs at serialization
+    # end — identical capture semantics on both transmitter paths.
+    deliver_now = deliver
+
+
 class Transmitter:
     """Pulls packets from a queue and serializes them onto a link.
 

@@ -918,6 +918,85 @@ class WindowStore(WindowQueryAPI):
     def port_meta(self, port: str) -> dict:
         return dict(self._meta.get(port, {}))
 
+    def config_dict(self) -> dict:
+        return {
+            "type": "timewin_config",
+            "window_s": self.window_s,
+            "num_windows": self.num_windows,
+            "slots": self.slots,
+        }
+
+    def dump_jsonl(self, destination) -> int:
+        """Write this store back out in the recorder's dump format, so a
+        stitched fabric-wide store round-trips through the same CLI
+        tooling (``telemetry windows``) as a single-shard dump."""
+        owns = isinstance(destination, str)
+        fh = open(destination, "w", encoding="utf-8") if owns else destination
+        written = 0
+        try:
+            fh.write(json.dumps(self.config_dict(), separators=(",", ":")))
+            fh.write("\n")
+            for name in self.ports():
+                meta = self._meta.get(name)
+                if meta is not None:
+                    fh.write(json.dumps(meta, separators=(",", ":")))
+                    fh.write("\n")
+                for view in self._views[name]:
+                    fh.write(json.dumps(view.to_dict(), separators=(",", ":")))
+                    fh.write("\n")
+                    written += 1
+        finally:
+            if owns:
+                fh.close()
+        return written
+
+
+def stitch_window_dumps(paths, out_path: Optional[str] = None) -> WindowStore:
+    """Stitch per-shard window dumps into one fabric-wide store.
+
+    Each shard of a partitioned run (:mod:`repro.sim.shard`) records only
+    the queue ports it owns, so the stitch is a disjoint union: concat
+    every shard's views, sort per port by window seq, and carry the
+    per-port metadata (``evicted_windows``, ``oldest_retained_seq``)
+    through verbatim — a port whose ring partially wrapped in its shard
+    still answers :meth:`WindowQueryAPI.who_built` with honest
+    ``partial``/``evicted`` coverage in the merged store, never silent
+    zeros.
+
+    All dumps must share ``window_s`` (the seq axis is only comparable on
+    one quantum); overlapping port names mean the inputs were not shards
+    of one run — both raise :class:`ConfigurationError`. Passing
+    ``out_path`` also writes the merged store as one dump file.
+    """
+    if not paths:
+        raise ConfigurationError("stitch needs at least one window dump")
+    merged: Optional[WindowStore] = None
+    for path in paths:
+        store = WindowStore.from_jsonl(path)
+        if merged is None:
+            merged = store
+            continue
+        if store.window_s != merged.window_s:
+            raise ConfigurationError(
+                f"{path}: window_s {store.window_s} differs from "
+                f"{merged.window_s}; shards of one run share one quantum"
+            )
+        overlap = set(store._views) & set(merged._views)
+        if overlap:
+            raise ConfigurationError(
+                f"{path}: ports {sorted(overlap)} already present — inputs "
+                f"are not disjoint shards of one run"
+            )
+        merged.num_windows = max(merged.num_windows, store.num_windows)
+        merged.slots = max(merged.slots, store.slots)
+        merged._views.update(store._views)
+        merged._meta.update(store._meta)
+    for views in merged._views.values():
+        views.sort(key=lambda v: v.seq)
+    if out_path is not None:
+        merged.dump_jsonl(out_path)
+    return merged
+
 
 def build_from_trace(
     events: Iterable,

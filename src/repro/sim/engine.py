@@ -18,6 +18,23 @@ The simulator also carries the run's :class:`~repro.obs.Telemetry`: the
 profiler (when attached) swaps the run loop for an instrumented variant,
 and components reach the trace bus / metrics registry via
 ``sim.telemetry``.
+
+**Execution modes.** The engine itself is mode-agnostic — it only ever
+pops the next event. Two subsystems restructure *what gets scheduled*
+on top of it, and they compose differently:
+
+* the **fluid fast path** (:mod:`repro.sim.fluid`) pauses per-packet
+  machinery on stable backlogged links and jumps the clock with
+  :meth:`Simulator.advance_to` — one simulator, fewer events;
+* **sharding** (:mod:`repro.sim.shard`) runs one simulator per
+  partition in lockstep epochs of :meth:`Simulator.run` bounded by the
+  conservative lookahead, with cross-partition arrivals re-entering via
+  :meth:`Simulator.schedule_at` at barriers.
+
+Telemetry composes with both. Fluid and sharding are mutually
+exclusive: fluid's analytic epochs advance links past barrier times,
+which would violate the capture-before-barrier invariant sharding's
+determinism contract rests on (see ``docs/SCALING.md`` §7).
 """
 
 from __future__ import annotations

@@ -37,6 +37,17 @@ fluid model intentionally coarsens is *timing within an epoch* (bytes are
 attributed to the epoch end) and FIFO ordering across flows; per-flow
 delivered bytes stay within a packet-scale tolerance of packet mode (see
 docs/PERFORMANCE.md for the measured bounds).
+
+**Composition.** Fluid mode composes with all telemetry (the synthetic
+events above are the mechanism) and with fault plans (a pending fault
+is an external transition that ends the epoch). It does **not** compose
+with sharding (:mod:`repro.sim.shard`): a fluid epoch advances a link
+analytically past the sharded run's barrier times, so a boundary link
+could deliver bytes the neighbouring partition's epoch never saw —
+breaking both the lookahead guarantee and bit-identical digests.
+The two attack different axes (fluid collapses *time* on one core,
+sharding spreads *space* across cores); ``share-fabric`` is therefore
+packet-mode only, and ``--fluid`` stays a ``share``-scenario flag.
 """
 
 from __future__ import annotations

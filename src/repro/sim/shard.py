@@ -1,0 +1,658 @@
+"""Conservative-synchronization parallel DES: one fabric, many workers.
+
+The engine (:mod:`repro.sim.engine`) is strictly single-threaded, so a
+large fat-tree run is wall-clock-bound by one core even after the fluid
+fast path. This module shards **one scenario** across partitions, each
+with its own :class:`~repro.sim.engine.Simulator`, advancing in lockstep
+epochs of conservative lookahead ``L`` — the minimum propagation delay of
+any *cut link* (a link whose endpoints live in different partitions).
+
+Why no null messages are needed
+-------------------------------
+
+Cut links are modeled by :class:`~repro.net.link.BoundaryLink`: the
+sending side keeps its queue/transmitter/fault machinery, but delivery
+becomes a *capture* of ``(arrival_time, link_id, packet)`` into the
+epoch's outbound batch, where ``arrival_time = serialization_end +
+wire_delay``. A packet serialized during epoch ``(T-L, T]`` therefore
+arrives at ``(T, T+L]`` — strictly after the barrier at ``T``. Running
+every partition to ``T``, exchanging batches, and scheduling the arrivals
+is thus always safe: the classic synchronous/barrier variant of
+conservative PDES (Chandy–Misra–Bryant lookahead without per-channel
+null messages).
+
+Determinism contract (digest equivalence across shard counts)
+-------------------------------------------------------------
+
+A sharded run is **bit-identical** to the single-partition run of the
+same scenario — same per-flow byte counts, same drop counts, same event
+totals — because every source of ordering is partition-count-invariant:
+
+* the *cut set* is a function of the topology alone (the fat-tree
+  builder routes every agg<->core link through boundary machinery even
+  when both ends share a partition, including ``shards=1``);
+* each partition builds by iterating the *full* scenario spec in a fixed
+  global order, skipping non-owned elements, so relative event seq order
+  within a partition never depends on what other partitions exist;
+* flow ids are assigned from the full spec (never allocated per
+  partition), and per-component RNG streams come from
+  :class:`~repro.sim.rng.RngRegistry` name derivation, which is
+  construction-order independent;
+* inbound boundary batches are applied sorted by ``(arrival_time,
+  link_id, departure_seq)`` — a total order independent of worker
+  completion order *and* of the shard count (link ids are global); and
+* barrier-scheduled arrivals always carry larger event seqs than any
+  event scheduled during earlier epochs, which matches the order the
+  single-partition run would have produced (the import there is also
+  scheduled at the barrier).
+
+The conservation auditor stays closed per partition via synthetic
+events: a capture emits a ``deliver`` at the cut-link name (the packet
+left this partition's ledger) and an import emits a ``host_send`` at the
+same name (it entered the destination ledger). Each shard's per-flow
+ledger therefore balances independently — audit-clean at any shard
+count.
+
+Mode composition
+----------------
+
+Sharding composes with the packet engine and all telemetry layers
+(audit, time windows, flight recording *within* a partition). It does
+**not** compose with the fluid fast path (:mod:`repro.sim.fluid`): a
+fluid epoch advances a link analytically past barrier times, which would
+break the capture-before-barrier invariant; scenario builders must not
+engage a :class:`FluidEngine` on a sharded run. Probabilistic
+``packet_corruption`` faults are deterministic for a *fixed* shard count
+but only digest-comparable across counts when at most one target draws
+from the plan RNG (with several corrupting links the single-process run
+interleaves one RNG stream across them in global arrival order, which a
+partitioned run cannot reproduce); blackouts and restarts are exact.
+
+Two drivers share all of the above:
+
+* :func:`run_lockstep` — every partition in one process (tests, the
+  ``shard/equiv/*`` jobs, and the deterministic-ordering regression
+  which permutes batch arrival order);
+* :func:`run_sharded` — spawn-isolated workers (one process per
+  partition) exchanging batches over pipes, reusing the
+  :mod:`repro.harness.runner` worker conventions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, ShardError
+from ..net.link import BoundaryLink
+from ..net.packet import Packet
+from ..obs.events import EV_DELIVER, EV_HOST_SEND
+
+#: Packet header fields serialized across a cut, in wire order. The
+#: transient fields (``enqueue_time``, ``flight``, ``flight_digest``,
+#: ``packet_id``) stay behind: the first is queue-local scratch state and
+#: flights do not cross cuts (each partition records its own hops);
+#: ``packet_id`` is a per-process counter that is invisible to results.
+PACKET_COLUMNS = (
+    "kind", "src", "dst", "flow_id", "size", "seq", "ack", "fin", "ect",
+    "ce", "ece", "aq_ingress_id", "aq_egress_id", "virtual_delay",
+    "echo_virtual_delay", "sent_time", "retransmission",
+)
+
+_CTOR_SLICE = 9  # columns [0:9] are Packet constructor arguments
+
+
+class BoundaryBatch:
+    """Struct-of-arrays batch of boundary crossings for one destination
+    partition within one epoch.
+
+    Parallel primitive-typed lists (not per-packet objects) keep the
+    pickled pipe payload compact and the per-partition working set flat —
+    a worker never materializes foreign packets until the barrier.
+    """
+
+    __slots__ = ("times", "links", "seqs", "cols")
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.links: List[int] = []
+        self.seqs: List[int] = []
+        self.cols: Tuple[List, ...] = tuple([] for _ in PACKET_COLUMNS)
+
+    def append(self, arrival_t: float, link_id: int, seq: int, packet: Packet) -> None:
+        self.times.append(arrival_t)
+        self.links.append(link_id)
+        self.seqs.append(seq)
+        cols = self.cols
+        for index, name in enumerate(PACKET_COLUMNS):
+            cols[index].append(getattr(packet, name))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def rows(self) -> List[Tuple[float, int, int, tuple]]:
+        """Decode into sortable ``(time, link_id, seq, header_values)`` rows."""
+        cols = self.cols
+        return [
+            (self.times[n], self.links[n], self.seqs[n],
+             tuple(col[n] for col in cols))
+            for n in range(len(self.times))
+        ]
+
+    # Plain __slots__ pickling (protocol 2+) ships the lists as-is.
+
+
+def packet_from_row(values: tuple) -> Packet:
+    """Rebuild a :class:`Packet` from one decoded batch row."""
+    packet = Packet(
+        *values[:_CTOR_SLICE],
+        aq_ingress_id=values[11],
+        aq_egress_id=values[12],
+        retransmission=values[16],
+    )
+    packet.ce = values[9]
+    packet.ece = values[10]
+    packet.virtual_delay = values[13]
+    packet.echo_virtual_delay = values[14]
+    packet.sent_time = values[15]
+    return packet
+
+
+def barrier_times(duration: float, lookahead: float) -> List[float]:
+    """The shared epoch schedule: ``L, 2L, ...`` clamped to ``duration``.
+
+    Every driver — in-process, spawn workers, and the coordinator — must
+    derive barriers from this one function so float accumulation is
+    bit-identical everywhere.
+    """
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    if lookahead <= 0:
+        raise ConfigurationError(f"lookahead must be positive, got {lookahead}")
+    times: List[float] = []
+    t = 0.0
+    while t < duration:
+        t = min(t + lookahead, duration)
+        times.append(t)
+    return times
+
+
+class ShardRuntime:
+    """One partition's boundary machinery: the *boundary context* the
+    topology builder wires cut links through, plus epoch stepping.
+
+    Life cycle: construct with the partition plan, hand to the builder
+    (which calls :meth:`make_egress` / :meth:`register_import` for every
+    cut link and then :meth:`attach_network`), then drive with
+    :meth:`run_epoch` / :meth:`apply_inbound` — directly, or via
+    :func:`run_lockstep` / :func:`run_sharded`.
+    """
+
+    def __init__(self, partition_id: int, plan) -> None:
+        if not 0 <= partition_id < plan.shards:
+            raise ConfigurationError(
+                f"partition {partition_id} outside [0, {plan.shards})"
+            )
+        self.partition_id = partition_id
+        self.plan = plan
+        self.num_partitions = plan.shards
+        self.lookahead = plan.lookahead
+        self.sim = None
+        self.network = None
+        self._tele = None
+        self._outbox = [BoundaryBatch() for _ in range(self.num_partitions)]
+        self._imports: Dict[int, Callable[[Packet], None]] = {}
+        self._import_names: Dict[int, str] = {}
+        self.exported_packets = 0
+        self.imported_packets = 0
+
+    # -- boundary-context interface (called by the topology builder) -------
+
+    def make_egress(self, sim, cut, rate_bps: float, prop_delay: float) -> BoundaryLink:
+        """Create the capture-side proxy for one owned cut link."""
+        if prop_delay < self.lookahead:
+            raise ConfigurationError(
+                f"cut link {cut.name} propagation {prop_delay} below the "
+                f"lookahead {self.lookahead}: arrivals could land before "
+                f"the next barrier"
+            )
+        if self.sim is None:
+            self.sim = sim
+        elif self.sim is not sim:
+            raise ConfigurationError(
+                "one ShardRuntime cannot span two simulators"
+            )
+        return BoundaryLink(
+            sim, rate_bps, prop_delay, cut.link_id, cut.dst_partition,
+            self._capture, name=cut.name,
+        )
+
+    def register_import(self, cut, handler: Callable[[Packet], None]) -> None:
+        """Bind the receive side of one owned cut link."""
+        self._imports[cut.link_id] = handler
+        self._import_names[cut.link_id] = cut.name
+
+    def attach_network(self, network) -> None:
+        """Adopt the built partition network (sim + telemetry refs)."""
+        self.network = network
+        if self.sim is None:
+            self.sim = network.sim
+        tele = network.sim.telemetry
+        self._tele = tele if tele is not None and tele.enabled else None
+
+    # -- data path ----------------------------------------------------------
+
+    def _capture(self, link: BoundaryLink, arrival_t: float, packet: Packet) -> None:
+        """BoundaryLink delivery: book the export and close the local
+        ledger with a synthetic ``deliver`` at the cut-link name."""
+        self._outbox[link.dest_partition].append(
+            arrival_t, link.link_id, link.exported, packet
+        )
+        link.exported += 1
+        self.exported_packets += 1
+        tele = self._tele
+        if tele is not None:
+            now = self.sim.now
+            tele.trace.emit_fields(
+                EV_DELIVER, now, node=link.name,
+                flow_id=packet.flow_id, size=packet.size,
+            )
+            fr = tele.flightrec
+            if fr is not None and packet.flight is not None:
+                # A flight ends at the cut: partitions record their own
+                # hop segments, stitched post-hoc by link name if needed.
+                fr.complete(packet, now, "delivered", node=link.name)
+
+    def _inject(self, link_id: int, values: tuple) -> None:
+        """Arrival of an imported boundary packet (scheduled at a barrier)."""
+        handler = self._imports.get(link_id)
+        if handler is None:
+            raise ShardError(
+                f"partition {self.partition_id} received a packet for "
+                f"unregistered cut link id {link_id}"
+            )
+        packet = packet_from_row(values)
+        self.imported_packets += 1
+        tele = self._tele
+        if tele is not None:
+            # Synthetic injection so the destination ledger opens where
+            # the source ledger closed (same node name on both events).
+            tele.trace.emit_fields(
+                EV_HOST_SEND, self.sim.now, node=self._import_names[link_id],
+                flow_id=packet.flow_id, size=packet.size,
+            )
+        handler(packet)
+
+    # -- epoch stepping ------------------------------------------------------
+
+    def run_epoch(self, until: float) -> List[BoundaryBatch]:
+        """Advance to the barrier at ``until``; returns the outbound
+        batches of this epoch, indexed by destination partition."""
+        if self.sim is None:
+            raise ConfigurationError("ShardRuntime has no simulator attached")
+        self.sim.run(until=until)
+        out = self._outbox
+        self._outbox = [BoundaryBatch() for _ in range(self.num_partitions)]
+        return out
+
+    def apply_inbound(self, batches: Sequence[BoundaryBatch]) -> int:
+        """Schedule every inbound crossing, in the canonical total order
+        ``(arrival_time, link_id, departure_seq)``.
+
+        Sorting here — never relying on batch arrival order — is what
+        keeps digests stable across OS scheduling and shard counts; the
+        regression test permutes the batch list to prove it.
+        """
+        rows: List[Tuple[float, int, int, tuple]] = []
+        for batch in batches:
+            rows.extend(batch.rows())
+        rows.sort(key=lambda row: (row[0], row[1], row[2]))
+        sim = self.sim
+        now = sim.now
+        for arrival_t, link_id, _seq, values in rows:
+            if arrival_t <= now:
+                raise ShardError(
+                    f"boundary packet arrival {arrival_t} not after barrier "
+                    f"{now}: lookahead contract violated"
+                )
+            sim.schedule_at(arrival_t, self._inject, link_id, values)
+        return len(rows)
+
+
+# -- in-process driver ---------------------------------------------------------
+
+
+def run_lockstep(
+    runtimes: Sequence[ShardRuntime],
+    duration: float,
+    permute=None,
+) -> int:
+    """Drive every partition in this process through the epoch schedule.
+
+    ``permute(order, epoch) -> order`` (optional) reorders the source-
+    partition visitation per epoch — the determinism regression hook
+    simulating arbitrary worker completion order. Returns the number of
+    epochs executed.
+    """
+    if not runtimes:
+        raise ConfigurationError("run_lockstep needs at least one runtime")
+    lookaheads = {rt.lookahead for rt in runtimes}
+    if len(lookaheads) != 1:
+        raise ShardError(f"partitions disagree on lookahead: {sorted(lookaheads)}")
+    schedule = barrier_times(duration, lookaheads.pop())
+    for epoch, barrier in enumerate(schedule):
+        outs = [rt.run_epoch(barrier) for rt in runtimes]
+        order = list(range(len(runtimes)))
+        if permute is not None:
+            order = permute(order, epoch)
+        for j, rt in enumerate(runtimes):
+            inbound = [outs[i][j] for i in order if len(outs[i][j])]
+            rt.apply_inbound(inbound)
+    return len(schedule)
+
+
+# -- spawn-isolated workers ----------------------------------------------------
+
+
+def shard_worker_seed(seed_base: str, partition: int) -> int:
+    """Stable per-partition seed, mirroring ``JobSpec.worker_seed``."""
+    digest = hashlib.sha256(f"{seed_base}/{partition}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _shard_worker_main(payload: dict, conn) -> None:
+    """Worker entry point: build one partition, lockstep over the pipe.
+
+    Protocol (worker side): per epoch send ``("out", epoch, [(dest,
+    batch), ...])`` and block for ``("in", epoch, [batches])``; after the
+    last barrier send ``("done", report)``. A failure at any point sends
+    ``("done", report)`` with ``status="failed"`` so the coordinator can
+    abort the round instead of deadlocking.
+    """
+    import contextlib
+    import random
+
+    report: dict = {"partition": payload["partition"], "status": "failed"}
+    try:
+        seed = payload["worker_seed"]
+        random.seed(seed)
+        try:
+            import numpy
+
+            numpy.random.seed(seed % 2**32)
+        except Exception:
+            pass
+        from ..harness.runner import resolve_target
+
+        telemetry = None
+        if payload.get("audit") or payload.get("timewin_path"):
+            from ..obs.telemetry import Telemetry
+
+            telemetry = Telemetry(enabled=True)
+            if payload.get("audit"):
+                telemetry.enable_audit()
+            if payload.get("timewin_path"):
+                telemetry.enable_time_windows(**(payload.get("timewin") or {}))
+        builder = resolve_target(payload["builder"])
+        partition = payload["partition"]
+        with contextlib.ExitStack() as stack:
+            if telemetry is not None:
+                stack.enter_context(telemetry.activate())
+            if payload.get("faults"):
+                from ..faults.injector import activate_fault_plan
+                from ..faults.plan import FaultPlan
+
+                stack.enter_context(
+                    activate_fault_plan(FaultPlan.from_dict(payload["faults"]))
+                )
+            runtime, finalize = builder(
+                partition=partition,
+                shards=payload["shards"],
+                **payload["kwargs"],
+            )
+            if runtime.lookahead != payload["lookahead"]:
+                raise ShardError(
+                    f"worker lookahead {runtime.lookahead} disagrees with "
+                    f"coordinator {payload['lookahead']}"
+                )
+            t0 = time.perf_counter()
+            schedule = barrier_times(payload["duration"], payload["lookahead"])
+            for epoch, barrier in enumerate(schedule):
+                out = runtime.run_epoch(barrier)
+                conn.send(("out", epoch, [
+                    (dest, batch)
+                    for dest, batch in enumerate(out)
+                    if dest != partition and len(batch)
+                ]))
+                tag, got_epoch, inbound = conn.recv()
+                if tag != "in" or got_epoch != epoch:
+                    raise ShardError(
+                        f"worker {partition} desynchronized: expected in/"
+                        f"{epoch}, got {tag}/{got_epoch}"
+                    )
+                batches = list(inbound)
+                local = out[partition]
+                if len(local):
+                    batches.append(local)
+                runtime.apply_inbound(batches)
+            result = finalize()
+        report["wall_s"] = time.perf_counter() - t0
+        report["status"] = "ok"
+        report["result"] = result
+        report["exported_packets"] = runtime.exported_packets
+        report["imported_packets"] = runtime.imported_packets
+        report["events"] = runtime.sim.events_processed
+        if telemetry is not None:
+            telemetry.close()
+            if telemetry.timewin is not None and payload.get("timewin_path"):
+                telemetry.timewin.dump_jsonl(payload["timewin_path"])
+                report["timewin"] = telemetry.timewin.stats()
+            if telemetry.auditor is not None:
+                verdict = telemetry.auditor.report()
+                report["audit"] = {
+                    "events_seen": verdict["events_seen"],
+                    "violation_count": verdict["violation_count"],
+                    "violations": verdict["violations"][:20],
+                }
+    except BaseException:
+        report["error"] = traceback.format_exc(limit=20)
+    try:
+        conn.send(("done", report))
+    finally:
+        conn.close()
+
+
+@dataclass
+class ShardRunReport:
+    """Outcome of one :func:`run_sharded` coordinator round."""
+
+    shards: int
+    epochs: int
+    wall_s: float
+    #: Per-partition worker reports (``status``, ``result``, ``audit``,
+    #: ``timewin``, ``exported_packets`` ...), in partition order.
+    workers: List[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(w.get("status") == "ok" for w in self.workers)
+
+    def results(self) -> List[dict]:
+        return [w.get("result") or {} for w in self.workers]
+
+
+def run_sharded(
+    builder: str,
+    kwargs: dict,
+    shards: int,
+    duration: float,
+    lookahead: float,
+    audit: bool = False,
+    timewin_dir: Optional[str] = None,
+    timewin_params: Optional[dict] = None,
+    fault_plans: Optional[List[Optional[dict]]] = None,
+    seed_base: str = "shard",
+    timeout_s: float = 600.0,
+) -> ShardRunReport:
+    """Run ``builder`` (a ``"module:function"`` worker target, same
+    convention as :class:`~repro.harness.runner.JobSpec`) across
+    ``shards`` spawn-isolated workers in lockstep.
+
+    The coordinator is a pure message router: it collects every
+    partition's epoch batches (in *any* completion order), regroups them
+    by destination, and releases the next epoch only when all workers
+    have reached the barrier. Ordering determinism lives entirely in
+    :meth:`ShardRuntime.apply_inbound`.
+    """
+    import os
+
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    if timewin_dir is not None:
+        os.makedirs(timewin_dir, exist_ok=True)
+    from ..harness.runner import spawn_safe_main
+
+    ctx = multiprocessing.get_context("spawn")
+    conns = []
+    procs = []
+    schedule = barrier_times(duration, lookahead)
+    t0 = time.perf_counter()
+    with spawn_safe_main():
+        for i in range(shards):
+            parent, child = ctx.Pipe(duplex=True)
+            payload = {
+                "partition": i,
+                "shards": shards,
+                "builder": builder,
+                "kwargs": dict(kwargs),
+                "worker_seed": shard_worker_seed(seed_base, i),
+                "duration": duration,
+                "lookahead": lookahead,
+                "audit": audit,
+                "timewin": timewin_params,
+                "timewin_path": (
+                    os.path.join(timewin_dir, f"shard{i}.windows.jsonl")
+                    if timewin_dir is not None
+                    else None
+                ),
+                "faults": fault_plans[i] if fault_plans else None,
+            }
+            proc = ctx.Process(
+                target=_shard_worker_main, args=(payload, child), daemon=True
+            )
+            proc.start()
+            child.close()
+            conns.append(parent)
+            procs.append(proc)
+
+    reports: List[Optional[dict]] = [None] * shards
+    conn_index = {id(conn): i for i, conn in enumerate(conns)}
+
+    def recv_from(pending: set, expect_tag: str, epoch: int) -> dict:
+        """Collect one message per pending worker; returns index->payload."""
+        gathered: Dict[int, list] = {}
+        while pending:
+            ready = multiprocessing.connection.wait(
+                [conns[i] for i in pending], timeout=timeout_s
+            )
+            if not ready:
+                raise ShardError(
+                    f"shard barrier timed out after {timeout_s}s at epoch "
+                    f"{epoch} waiting on partitions {sorted(pending)}"
+                )
+            for conn in ready:
+                i = conn_index[id(conn)]
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    raise ShardError(
+                        f"shard worker {i} died at epoch {epoch} "
+                        f"(exit code {procs[i].exitcode})"
+                    ) from None
+                if message[0] == "done":
+                    # A failed worker reports early instead of deadlocking
+                    # the barrier; surface its traceback here.
+                    body = message[1]
+                    reports[i] = body
+                    if body.get("status") != "ok":
+                        raise ShardError(
+                            f"shard worker {i} failed:\n"
+                            f"{body.get('error', '(no traceback)')}"
+                        )
+                    pending.discard(i)
+                    gathered[i] = []
+                    continue
+                tag, got, body = message
+                if tag != expect_tag or got != epoch:
+                    raise ShardError(
+                        f"worker {i} desynchronized: expected "
+                        f"{expect_tag}/{epoch}, got {tag}/{got}"
+                    )
+                gathered[i] = body
+                pending.discard(i)
+        return gathered
+
+    try:
+        for epoch in range(len(schedule)):
+            gathered = recv_from(set(range(shards)), "out", epoch)
+            inbound: List[List[BoundaryBatch]] = [[] for _ in range(shards)]
+            # Visit sources in partition order; apply_inbound re-sorts
+            # anyway, so this is cosmetic — the canonical order is the
+            # row key, not the batch order.
+            for i in sorted(gathered):
+                for dest, batch in gathered[i]:
+                    inbound[dest].append(batch)
+            for j in range(shards):
+                conns[j].send(("in", epoch, inbound[j]))
+        # Final reports (workers that already sent "done" are recorded).
+        remaining = {i for i in range(shards) if reports[i] is None}
+        while remaining:
+            ready = multiprocessing.connection.wait(
+                [conns[i] for i in remaining], timeout=timeout_s
+            )
+            if not ready:
+                raise ShardError(
+                    f"timed out waiting for final reports from "
+                    f"{sorted(remaining)}"
+                )
+            for conn in ready:
+                i = conn_index[id(conn)]
+                try:
+                    tag, body = conn.recv()
+                except EOFError:
+                    raise ShardError(
+                        f"shard worker {i} died before reporting "
+                        f"(exit code {procs[i].exitcode})"
+                    ) from None
+                if tag != "done":
+                    raise ShardError(
+                        f"worker {i} sent {tag!r} after the last barrier"
+                    )
+                reports[i] = body
+                remaining.discard(i)
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - cleanup of hung worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+    for i, report in enumerate(reports):
+        if report is None:
+            raise ShardError(f"shard worker {i} never reported")
+        if report.get("status") != "ok":
+            raise ShardError(
+                f"shard worker {i} failed:\n{report.get('error', '')}"
+            )
+    return ShardRunReport(
+        shards=shards,
+        epochs=len(schedule),
+        wall_s=time.perf_counter() - t0,
+        workers=[r for r in reports if r is not None],
+    )

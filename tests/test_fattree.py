@@ -1,0 +1,112 @@
+"""Tests for the fat-tree-lite fabric (repro.topology.fattree)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.fattree import (
+    FatTreeConfig,
+    FatTreePlan,
+    build_fattree,
+    node_location,
+)
+from repro.transport.udp import UdpFlow
+from repro.units import gbps
+
+
+def small():
+    return FatTreeConfig(pods=2, tors_per_pod=2, hosts_per_tor=2, num_cores=2)
+
+
+class TestNaming:
+    def test_node_location_parses_every_kind(self):
+        assert node_location("agg3") == ("agg", 3)
+        assert node_location("core1") == ("core", 1)
+        assert node_location("t2-1") == ("tor", 2)
+        assert node_location("h2-1-0") == ("host", 2)
+
+    @pytest.mark.parametrize("bad", ["x1", "agg", "hq-1", "s-left", ""])
+    def test_node_location_rejects_foreign_names(self, bad):
+        with pytest.raises(ConfigurationError):
+            node_location(bad)
+
+    def test_host_names_cover_the_fabric(self):
+        config = small()
+        names = config.host_names()
+        assert len(names) == 2 * 2 * 2
+        assert names[0] == "h0-0-0" and names[-1] == "h1-1-1"
+
+
+class TestPlan:
+    def test_cut_enumeration_is_topology_only(self):
+        config = small()
+        for shards in (1, 2, 4):
+            cuts = FatTreePlan(config, shards).cut_links()
+            # pods * cores * 2 directions, stable ids in enumeration order.
+            assert len(cuts) == 2 * 2 * 2
+            assert [c.link_id for c in cuts] == list(range(8))
+            assert cuts[0].name == "agg0->core0"
+            assert cuts[1].name == "core0->agg0"
+
+    def test_partition_round_robin(self):
+        plan = FatTreePlan(small(), 2)
+        assert plan.partition_of("agg0") == 0
+        assert plan.partition_of("agg1") == 1
+        assert plan.partition_of("h1-0-1") == 1
+        assert plan.partition_of("core1") == 1
+
+    def test_owner_of_target_uses_sending_side(self):
+        plan = FatTreePlan(small(), 2)
+        assert plan.owner_of_target("agg1->core0") == 1
+        assert plan.owner_of_target("core0->agg1") == 0
+        assert plan.owner_of_target("t1-0") == 1
+
+    def test_lookahead_is_core_prop_delay(self):
+        config = small()
+        assert FatTreePlan(config, 2).lookahead == config.core_prop_delay
+
+    def test_rejects_bad_shards(self):
+        with pytest.raises(ConfigurationError):
+            FatTreePlan(small(), 0)
+
+
+class TestRouting:
+    def test_intra_tor_cross_pod_and_ecmp_paths(self):
+        tree = build_fattree(small())
+        net = tree.network
+        UdpFlow(net, "h0-0-0", "h0-0-1", gbps(1), flow_id=1)   # same ToR
+        UdpFlow(net, "h0-0-0", "h0-1-0", gbps(1), flow_id=2)   # same pod
+        UdpFlow(net, "h0-1-0", "h1-0-1", gbps(1), flow_id=3)   # cross pod
+        UdpFlow(net, "h1-1-1", "h0-0-0", gbps(1), flow_id=4)   # cross, odd id
+        sinks = {}
+        for fid, host in ((1, "h0-0-1"), (2, "h0-1-0"), (3, "h1-0-1"),
+                          (4, "h0-0-0")):
+            sinks[fid] = net.hosts[host]
+        net.sim.run(until=2e-3)
+        # Every flow delivers (routing closures cover all three tiers).
+        for fid in (1, 2, 3, 4):
+            deliveries = [
+                s for s in net.switches.values() if s.stats.forwarded_packets
+            ]
+            assert deliveries
+        # ECMP: flow 3 (odd) uses core1, flow 4 (even) uses core0.
+        assert net.links["agg0->core1"].stats.delivered_packets > 0
+        assert net.links["agg1->core0"].stats.delivered_packets > 0
+
+    def test_build_is_deterministic(self):
+        a = build_fattree(small())
+        b = build_fattree(small())
+        assert sorted(a.network.links) == sorted(b.network.links)
+        assert sorted(a.network.switches) == sorted(b.network.switches)
+        assert sorted(a.network.hosts) == sorted(b.network.hosts)
+
+    def test_full_build_has_all_elements(self):
+        tree = build_fattree(small())
+        net = tree.network
+        # 2 cores + per pod (1 agg + 2 tors) = 2 + 6
+        assert len(net.switches) == 8
+        assert len(net.hosts) == 8
+        assert "agg0->core0" in net.links and "core1->agg1" in net.links
+
+    def test_owns_without_plan_is_universal(self):
+        tree = build_fattree(small())
+        assert tree.owns("agg0") and tree.owns("core1") and tree.owns("h1-0-0")
