@@ -16,6 +16,7 @@ from pathlib import Path
 from repro.harness.hotpath import (
     ENGINE_BENCHES,
     bench_backlogged_link,
+    bench_fabric_obs_overhead,
     bench_fire_chain,
     bench_fluid_speedup,
     bench_idle_link,
@@ -105,6 +106,20 @@ def test_engine_shard_speedup(once):
     # the overhead instead (docs/SCALING.md).
     if result["cpus"] >= result["shards"]:
         assert result["speedup_ratio"] >= result["target_speedup"]
+
+
+def test_engine_fabric_obs_overhead(once):
+    result = _record("fabric_obs_overhead", once(bench_fabric_obs_overhead))
+    # The structural gates are unconditional: the plane must be
+    # digest-neutral (the bench raises otherwise) and the heartbeat
+    # timeline must cover every (shard, epoch) pair. The <=1.05 wall
+    # ratio is recorded as a trend line in BENCH_engine.json, not
+    # hard-asserted -- 2ms runs are dominated by noise (same policy as
+    # timewin_overhead).
+    assert result["digest_match"] == 1.0
+    assert result["heartbeat_frames"] == result["shards"] * result["epochs"]
+    assert result["timewin_ports"] > 0
+    assert result["target_ratio"] == 1.05
 
 
 def test_engine_write_baseline(once):

@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
 from collections import Counter
 from typing import List, Optional
@@ -386,8 +387,22 @@ def cmd_share_fabric(args) -> int:
                   file=sys.stderr)
             return 2
 
+    run_dir = args.run_dir
+    if run_dir is None and not args.no_run_dir:
+        import time as _time
+
+        stamp = _time.strftime("%Y%m%d-%H%M%S")
+        run_dir = os.path.join("runs", f"share-fabric-{stamp}")
+    flight_dir = None
+    if args.flights:
+        if run_dir is None:
+            print("--flights needs a run directory (drop --no-run-dir or "
+                  "pass --run-dir)", file=sys.stderr)
+            return 2
+        flight_dir = os.path.join(run_dir, "flights")
+
     timewin_params = None
-    if args.timewin_dir is not None and args.timewin_window_ms is not None:
+    if args.timewin_window_ms is not None:
         timewin_params = {"window_s": args.timewin_window_ms * 1e-3}
     try:
         report = run_share_fabric(
@@ -398,6 +413,10 @@ def cmd_share_fabric(args) -> int:
             timewin_dir=args.timewin_dir,
             timewin_params=timewin_params,
             fault_plan=fault_plan,
+            run_dir=run_dir,
+            timewin=False if args.no_timewin else None,
+            timewin_budget=args.timewin_budget,
+            flight_dir=flight_dir,
             pods=args.pods,
             tors_per_pod=args.tors_per_pod,
             hosts_per_tor=args.hosts_per_tor,
@@ -437,9 +456,8 @@ def cmd_share_fabric(args) -> int:
                 for violation in (verdict or {}).get("violations", [])[:5]:
                     print(f"  {violation}", file=sys.stderr)
             status = 1
-    if args.timewin_dir is not None:
-        print(f"per-shard windows: {len(report['timewin_paths'])} dumps "
-              f"-> {args.timewin_dir}")
+    if report.get("timewin_paths"):
+        print(f"per-shard windows: {len(report['timewin_paths'])} dumps")
         if args.timewin_merged is not None:
             from .obs.timewin import stitch_window_dumps
 
@@ -450,6 +468,16 @@ def cmd_share_fabric(args) -> int:
                   f"-> {args.timewin_merged} "
                   f"(query with: repro telemetry windows "
                   f"{args.timewin_merged} --port PORT)")
+        elif report.get("timewin_merged_path"):
+            print(f"stitched fabric-wide store: {report['timewin_ports']} "
+                  f"ports -> {report['timewin_merged_path']}")
+    if report.get("flights_stitched_path"):
+        print(f"stitched flights: {report['flights_stitched']} "
+              f"-> {report['flights_stitched_path']}")
+    if report.get("run_dir"):
+        print(f"run ledger: {report['run_dir']} "
+              f"({report.get('heartbeat_frames', 0)} heartbeat frames; "
+              f"watch with: repro fabric-status {report['run_dir']})")
     if args.out is not None:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
@@ -458,12 +486,88 @@ def cmd_share_fabric(args) -> int:
     return status
 
 
+def _render_fabric_status(run_dir: str, manifest: dict) -> None:
+    from .obs.runledger import read_health_jsonl
+
+    digest = (manifest.get("digests") or {}).get("fabric_digest", "-")
+    print(f"{run_dir}: {manifest.get('scenario', '?')} "
+          f"[{manifest.get('status', '?')}]  "
+          f"shards={manifest.get('shards', '?')} "
+          f"mode={manifest.get('mode', '?')} "
+          f"digest={digest}")
+
+    frames = read_health_jsonl(os.path.join(run_dir, "health.jsonl"))
+    latest: dict = {}
+    for frame in frames:
+        latest[frame.get("partition")] = frame
+    if not latest:
+        print("no heartbeat frames yet")
+        return
+    max_watermark = max(f.get("watermark_s", 0.0) for f in latest.values())
+    rows = []
+    for partition in sorted(latest):
+        f = latest[partition]
+        watermark = f.get("watermark_s", 0.0)
+        lag = max_watermark - watermark
+        rss = f.get("rss_kb")
+        rows.append([
+            str(partition),
+            str(f.get("epoch", "?")),
+            f"{watermark * 1e3:.2f}ms",
+            f"{lag * 1e6:.0f}us",
+            f"{f.get('events_per_s', 0.0):,.0f}",
+            str(f.get("backlog_events", 0)),
+            f"{f.get('backlog_bytes', 0):,}",
+            f"{rss // 1024}MB" if rss else "-",
+            f"{f.get('barrier_wait_s', 0.0) * 1e3:.1f}ms",
+        ])
+    print(render_table(
+        ["shard", "epoch", "watermark", "lag", "ev/s", "backlog ev",
+         "backlog bytes", "rss", "barrier wait"],
+        rows,
+    ))
+    print(f"{len(frames)} heartbeat frame(s) total")
+
+
+def cmd_fabric_status(args) -> int:
+    """Render the health of a ledgered share-fabric run: manifest status
+    plus the latest heartbeat frame per shard. ``--follow`` re-renders
+    until the manifest leaves the ``running`` state."""
+    import time as _time
+
+    from .obs.runledger import load_manifest
+
+    while True:
+        try:
+            run_dir, manifest = load_manifest(args.run_dir)
+        except ReproError as exc:
+            print(f"fabric-status: {exc}", file=sys.stderr)
+            return 1
+        _render_fabric_status(run_dir, manifest)
+        if not args.follow or manifest.get("status") != "running":
+            return 0
+        _time.sleep(args.interval)
+        print()
+
+
 def cmd_telemetry_stitch(args) -> int:
-    """Stitch per-shard window dumps into one fabric-wide store."""
+    """Stitch per-shard window dumps into one fabric-wide store. Inputs
+    may be bare JSONL dumps or run directories (resolved through their
+    manifest's artifact index)."""
+    from .obs.runledger import resolve_inputs
     from .obs.timewin import stitch_window_dumps
 
     try:
-        store = stitch_window_dumps(args.dumps, out_path=args.out)
+        dumps = resolve_inputs(args.dumps, "windows")
+    except ReproError as exc:
+        print(f"stitch failed: {exc}", file=sys.stderr)
+        return 1
+    if not dumps:
+        print("warning: no window dumps to stitch (did the run record "
+              "time windows?)", file=sys.stderr)
+        return 1
+    try:
+        store = stitch_window_dumps(dumps, out_path=args.out)
     except OSError as exc:
         print(f"cannot read window dump: {exc}", file=sys.stderr)
         return 1
@@ -479,7 +583,7 @@ def cmd_telemetry_stitch(args) -> int:
             str(meta.get("evicted_windows", 0)),
         ])
     print(render_table(["port", "windows", "evicted"], rows))
-    print(f"stitched {len(args.dumps)} dump(s), {len(store.ports())} ports "
+    print(f"stitched {len(dumps)} dump(s), {len(store.ports())} ports "
           f"-> {args.out}")
     return 0
 
@@ -608,14 +712,76 @@ def cmd_run_all(args) -> int:
     return 1 if audit_failed else 0
 
 
+def _summarize_run_dir(ref: str, max_rows: int) -> int:
+    """Summarize a ledgered share-fabric run directory: manifest header,
+    per-worker table, and the fabric-wide merged metrics snapshot."""
+    from .obs.runledger import artifact_paths, load_manifest
+
+    run_dir, manifest = load_manifest(ref)
+    digest = (manifest.get("digests") or {}).get("fabric_digest", "-")
+    print(f"run: {run_dir} [{manifest.get('status', '?')}]")
+    print(f"scenario: {manifest.get('scenario', '?')}  "
+          f"shards: {manifest.get('shards', '?')}  "
+          f"mode: {manifest.get('mode', '?')}  "
+          f"epochs: {manifest.get('epochs', '?')}  "
+          f"digest: {digest}")
+    obs = manifest.get("observability", {})
+    print("observability: "
+          + ", ".join(f"{k}={v}" for k, v in sorted(obs.items())
+                      if not isinstance(v, dict)))
+
+    workers = manifest.get("workers") or []
+    if workers:
+        rows = []
+        for w in workers[:max_rows]:
+            flights = w.get("flights") or {}
+            rows.append([
+                str(w.get("partition", "?")), str(w.get("status", "?")),
+                f"{w.get('wall_s', 0.0):.2f}s",
+                f"{w.get('events', 0):,}",
+                f"{w.get('exported_packets', 0):,}",
+                f"{w.get('imported_packets', 0):,}",
+                str(flights.get("total", "-")),
+            ])
+        print()
+        print(render_table(
+            ["shard", "status", "wall", "events", "exported", "imported",
+             "flights"],
+            rows,
+        ))
+
+    metrics = artifact_paths(ref, "metrics")
+    if metrics:
+        with open(metrics[0], "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+        print()
+        print(f"fabric-wide metrics (merged from "
+              f"{snapshot.get('merged_from', '?')} shard snapshot(s)):")
+        print(render_metrics_summary(snapshot, max_rows=max_rows))
+    return 0
+
+
 def cmd_telemetry_summarize(args) -> int:
     """Human summary of a recorded telemetry run.
 
-    Tolerant of damaged input: truncated/corrupt JSONL lines are skipped
-    with a warning, and an empty trace is a valid (zero-event) run. Only
-    an unreadable file is an error.
+    Accepts either a JSONL trace or a share-fabric run directory (the
+    latter renders the manifest + fabric-wide merged metrics). Tolerant
+    of damaged input: truncated/corrupt JSONL lines are skipped with a
+    warning, and an empty trace is a valid (zero-event) run. Only an
+    unreadable file is an error.
     """
+    from .obs.runledger import is_run_reference
     from .obs.tracebus import read_jsonl
+
+    if is_run_reference(args.trace):
+        try:
+            return _summarize_run_dir(args.trace, args.max_rows)
+        except ReproError as exc:
+            print(f"summarize failed: {exc}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"cannot read run artifacts: {exc}", file=sys.stderr)
+            return 1
 
     counts: Counter = Counter()
     first_time = None
@@ -662,17 +828,40 @@ def cmd_telemetry_summarize(args) -> int:
 def cmd_telemetry_flights(args) -> int:
     """Reconstruct paths, hop latencies, and drop attribution from a
     flight-record JSONL (written by ``--flight-record`` or an audited
-    ``run-all`` sweep)."""
-    from .obs.flightrec import FlightIndex, read_flights_jsonl
+    ``run-all`` sweep) — or from a share-fabric run directory, where the
+    stitched end-to-end flights are preferred and per-shard segment
+    dumps are stitched on the fly."""
+    from .obs.flightrec import (
+        FlightIndex,
+        read_flights_jsonl,
+        stitch_flight_dumps,
+    )
+    from .obs.runledger import artifact_paths, is_run_reference
 
     index = FlightIndex()
     try:
-        for flight in read_flights_jsonl(args.flights):
+        if is_run_reference(args.flights):
+            paths = artifact_paths(args.flights, "flights")
+            if not paths:
+                print(f"{args.flights}: run recorded no flights "
+                      "(re-run share-fabric with --flights)",
+                      file=sys.stderr)
+                return 1
+            if len(paths) == 1:
+                flights = read_flights_jsonl(paths[0])
+            else:
+                flights = stitch_flight_dumps(paths)
+        else:
+            flights = read_flights_jsonl(args.flights)
+        for flight in flights:
             if args.flow is not None and flight.flow_id != args.flow:
                 continue
             index.handle_flight(flight)
     except OSError as exc:
         print(f"cannot read flights: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"cannot resolve flights: {exc}", file=sys.stderr)
         return 1
     except (ValueError, KeyError, TypeError) as exc:
         print(f"invalid flight record in {args.flights}: {exc}", file=sys.stderr)
@@ -715,11 +904,29 @@ def cmd_telemetry_flights(args) -> int:
 def cmd_telemetry_windows(args) -> int:
     """Query a time-window dump: who built each queue, top contributors,
     tenant shares — and optionally cross-validate the fixed-memory
-    attribution against a flight-record ground truth."""
-    from .obs.timewin import WindowStore, crosscheck_with_flights
+    attribution against a flight-record ground truth. Accepts a bare
+    JSONL dump or a run directory (stitched fabric-wide store preferred;
+    per-shard dumps are stitched on the fly)."""
+    from .obs.runledger import artifact_paths, is_run_reference
+    from .obs.timewin import (
+        WindowStore,
+        crosscheck_with_flights,
+        stitch_window_dumps,
+    )
 
     try:
-        store = WindowStore.from_jsonl(args.windows)
+        if is_run_reference(args.windows):
+            paths = artifact_paths(args.windows, "windows")
+            if not paths:
+                print(f"{args.windows}: run recorded no time windows",
+                      file=sys.stderr)
+                return 1
+            if len(paths) == 1:
+                store = WindowStore.from_jsonl(paths[0])
+            else:
+                store = stitch_window_dumps(paths)
+        else:
+            store = WindowStore.from_jsonl(args.windows)
     except OSError as exc:
         print(f"cannot read windows: {exc}", file=sys.stderr)
         return 1
@@ -963,9 +1170,28 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="shard_faults",
                    help="fault plan, filtered per partition by target "
                         "owner (cut links belong to the sending side)")
+    p.add_argument("--run-dir", metavar="DIR", default=None,
+                   help="run-ledger directory (default: "
+                        "runs/share-fabric-<timestamp>); writes "
+                        "manifest.json, health.jsonl, merged metrics, and "
+                        "auto-stitched dumps")
+    p.add_argument("--no-run-dir", action="store_true",
+                   help="skip the run ledger entirely (pre-ledger "
+                        "behaviour: no directory, heartbeats and time "
+                        "windows off unless asked for)")
+    p.add_argument("--no-timewin", action="store_true",
+                   help="disable the default-on time-window recorder")
+    p.add_argument("--timewin-budget", type=int, metavar="BYTES", default=None,
+                   help="fixed per-port memory budget for the recorder; "
+                        "ring geometry is solved from it (see "
+                        "docs/OBSERVABILITY.md)")
+    p.add_argument("--flights", action="store_true",
+                   help="record per-shard flight segments and stitch them "
+                        "end-to-end into the run ledger")
     p.add_argument("--timewin-dir", metavar="DIR", default=None,
                    help="record per-partition time windows to "
-                        "DIR/shard<i>.windows.jsonl")
+                        "DIR/shard<i>.windows.jsonl (default: "
+                        "<run-dir>/windows)")
     p.add_argument("--timewin-window-ms", type=float, default=None,
                    help="window quantum in ms (default: recorder default)")
     p.add_argument("--timewin-merged", metavar="MERGED.JSONL", default=None,
@@ -974,6 +1200,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="REPORT.JSON", default=None,
                    help="write the full JSON report")
     p.set_defaults(fn=cmd_share_fabric)
+
+    p = sub.add_parser(
+        "fabric-status",
+        help="health view of a share-fabric run ledger",
+        description="Render a share-fabric run directory's manifest "
+                    "status and the latest heartbeat frame per shard "
+                    "(sim-time watermark, events/sec, backlog, memory "
+                    "high-water, barrier waits). Works on live and "
+                    "completed runs.",
+    )
+    p.add_argument("run_dir", help="run directory (or its manifest.json)")
+    p.add_argument("--follow", action="store_true",
+                   help="keep re-rendering until the run completes")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between --follow renders (default 1)")
+    p.set_defaults(fn=cmd_fabric_status)
 
     p = sub.add_parser(
         "run-all",
@@ -1022,7 +1264,8 @@ def build_parser() -> argparse.ArgumentParser:
     tsub = p.add_subparsers(dest="telemetry_command", required=True)
     ps = tsub.add_parser("summarize",
                          help="summarize a recorded JSONL trace + metrics")
-    ps.add_argument("trace", help="JSONL trace written by --telemetry")
+    ps.add_argument("trace", help="JSONL trace written by --telemetry, or "
+                                  "a share-fabric run directory")
     ps.add_argument("--metrics", default=None,
                     help="metrics snapshot path (default: derived from trace)")
     ps.add_argument("--max-rows", type=int, default=40)
@@ -1030,8 +1273,9 @@ def build_parser() -> argparse.ArgumentParser:
     pf = tsub.add_parser("flights",
                          help="reconstruct paths/latency/drop attribution "
                               "from a flight-record JSONL")
-    pf.add_argument("flights", help="JSONL written by --flight-record or "
-                                    "run-all --flight-record-dir")
+    pf.add_argument("flights", help="JSONL written by --flight-record, "
+                                    "run-all --flight-record-dir, or a "
+                                    "share-fabric run directory")
     pf.add_argument("--flow", type=int, default=None,
                     help="restrict to one flow id")
     pf.add_argument("--max-rows", type=int, default=40)
@@ -1041,8 +1285,9 @@ def build_parser() -> argparse.ArgumentParser:
     pw = tsub.add_parser("windows",
                          help="query a time-window dump: who built each "
                               "queue, top contributors, tenant shares")
-    pw.add_argument("windows", help="JSONL written by --timewin or "
-                                    "run-all --timewin-dir")
+    pw.add_argument("windows", help="JSONL written by --timewin, run-all "
+                                    "--timewin-dir, or a share-fabric run "
+                                    "directory")
     pw.add_argument("--port", default=None,
                     help="attribute one port (multi-queue sub-ports merge "
                          "under their parent name)")
@@ -1062,7 +1307,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "fabric-wide store")
     pst.add_argument("dumps", nargs="+",
                      help="per-shard JSONL dumps (share-fabric "
-                          "--timewin-dir)")
+                          "--timewin-dir) and/or run directories")
     pst.add_argument("--out", required=True, metavar="MERGED.JSONL",
                      help="where to write the merged store")
     pst.add_argument("--max-rows", type=int, default=40)

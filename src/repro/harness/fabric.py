@@ -234,6 +234,24 @@ def filter_fault_plan(
     return FaultPlan(seed=full.seed, events=kept).to_dict()
 
 
+def partition_plan_summary(plan: FatTreePlan) -> dict:
+    """JSON-safe description of a partition plan for the run manifest."""
+    return {
+        "shards": plan.shards,
+        "lookahead": plan.lookahead,
+        "cut_links": [
+            {
+                "link_id": cut.link_id,
+                "src": cut.src,
+                "dst": cut.dst,
+                "src_partition": cut.src_partition,
+                "dst_partition": cut.dst_partition,
+            }
+            for cut in plan.cut_links()
+        ],
+    }
+
+
 def run_share_fabric(
     shards: int,
     duration: float,
@@ -242,6 +260,12 @@ def run_share_fabric(
     timewin_dir: Optional[str] = None,
     timewin_params: Optional[dict] = None,
     fault_plan: Optional[dict] = None,
+    run_dir: Optional[str] = None,
+    timewin: Optional[bool] = None,
+    timewin_budget: Optional[int] = None,
+    flight_dir: Optional[str] = None,
+    heartbeat: Optional[bool] = None,
+    on_heartbeat: Optional[Callable[[dict], None]] = None,
     **config_kwargs,
 ) -> dict:
     """Run the scenario at ``shards`` partitions and return the merged,
@@ -253,7 +277,54 @@ def run_share_fabric(
     equivalence tests; ``inline=False`` spawns one worker process per
     partition via :func:`~repro.sim.shard.run_sharded`. Both produce
     identical digests by construction.
+
+    The observability plane hangs off ``run_dir``: when set, the run
+    writes a ledgered directory (:class:`repro.obs.runledger.RunLedger`)
+    with a ``fabric-run/1`` manifest, a live ``health.jsonl`` heartbeat
+    timeline, the merged ``metrics.json``, and auto-stitched window (and
+    flight) dumps. Time windows are then **on by default** (ROADMAP item
+    3) under ``timewin_budget`` bytes per port; pass ``timewin=False``
+    to opt out. Every layer is digest-neutral: the report's ``digest``
+    is identical with the plane fully on or fully off, at any shard
+    count (the ``shard/obs/*`` jobs assert this).
     """
+    import os
+
+    from ..obs.runledger import RunLedger
+
+    ledger = RunLedger(run_dir) if run_dir is not None else None
+
+    if timewin is None:
+        timewin = timewin_dir is not None or ledger is not None
+    if timewin and timewin_dir is None:
+        if ledger is None:
+            raise ConfigurationError(
+                "timewin=True needs a timewin_dir or run_dir to dump into"
+            )
+        timewin_dir = ledger.path("windows")
+    if not timewin:
+        timewin_dir = None
+    params = dict(timewin_params or {})
+    if timewin_budget is not None:
+        from ..obs.timewin import params_for_budget
+
+        solved = params_for_budget(timewin_budget, window_s=params.get("window_s"))
+        solved.update(params)  # explicit params override the solver
+        params = solved
+    timewin_params = params or None
+    if heartbeat is None:
+        heartbeat = ledger is not None
+
+    health_sink = ledger.health_writer() if ledger and heartbeat else None
+    frames: List[dict] = []
+
+    def handle_frame(frame: dict) -> None:
+        frames.append(frame)
+        if health_sink is not None:
+            health_sink(frame)
+        if on_heartbeat is not None:
+            on_heartbeat(frame)
+
     config = fabric_config(**{
         k: config_kwargs[k]
         for k in ("pods", "tors_per_pod", "hosts_per_tor", "num_cores", "seed")
@@ -273,87 +344,143 @@ def run_share_fabric(
         "lookahead": plan.lookahead,
         "mode": "inline" if inline else "spawn",
     }
+    manifest: dict = {}
+    if ledger is not None:
+        manifest = {
+            "scenario": "share-fabric",
+            "created_unix": time.time(),
+            "shards": shards,
+            "duration": duration,
+            "mode": report["mode"],
+            "config": dict(config_kwargs),
+            "partition_plan": partition_plan_summary(plan),
+            "observability": {
+                "audit": audit,
+                "heartbeat": heartbeat,
+                "timewin": timewin_dir is not None,
+                "timewin_params": timewin_params,
+                "timewin_budget_bytes": timewin_budget,
+                "flights": flight_dir is not None,
+            },
+        }
+        ledger.begin(manifest)
+        report["run_dir"] = ledger.run_dir
+
     t0 = time.perf_counter()
-    if inline:
-        import contextlib
+    try:
+        if inline:
+            import contextlib
 
-        from ..faults.injector import activate_fault_plan
-        from ..obs.telemetry import Telemetry
+            from ..faults.injector import activate_fault_plan
+            from ..obs.telemetry import Telemetry
+            from ..sim.shard import HeartbeatTracker
 
-        runtimes: List[ShardRuntime] = []
-        finalizers: List[Callable[[], dict]] = []
-        teles: List[Optional[Telemetry]] = []
-        for i in range(shards):
-            telemetry = None
-            if audit or timewin_dir is not None:
-                telemetry = Telemetry(enabled=True)
-                if audit:
-                    telemetry.enable_audit()
-                if timewin_dir is not None:
-                    telemetry.enable_time_windows(**(timewin_params or {}))
-            with contextlib.ExitStack() as stack:
+            if flight_dir is not None:
+                os.makedirs(flight_dir, exist_ok=True)
+            runtimes: List[ShardRuntime] = []
+            finalizers: List[Callable[[], dict]] = []
+            teles: List[Optional[Telemetry]] = []
+            for i in range(shards):
+                telemetry = None
+                if audit or timewin_dir is not None or flight_dir is not None:
+                    telemetry = Telemetry(enabled=True)
+                    if audit:
+                        telemetry.enable_audit()
+                    if timewin_dir is not None:
+                        telemetry.enable_time_windows(**(timewin_params or {}))
+                    if flight_dir is not None:
+                        telemetry.enable_flight_recording(
+                            os.path.join(flight_dir, f"shard{i}.flights.jsonl")
+                        )
+                with contextlib.ExitStack() as stack:
+                    if telemetry is not None:
+                        stack.enter_context(telemetry.activate())
+                    if fault_slices is not None:
+                        stack.enter_context(
+                            activate_fault_plan(FaultPlan.from_dict(fault_slices[i]))
+                        )
+                    runtime, finalize = build_fabric_partition(
+                        partition=i, shards=shards, **config_kwargs
+                    )
+                runtimes.append(runtime)
+                finalizers.append(finalize)
+                teles.append(telemetry)
+            on_epoch = None
+            if heartbeat:
+                trackers = [HeartbeatTracker(i) for i in range(shards)]
+
+                def on_epoch(epoch: int, barrier: float) -> None:
+                    for i, rt in enumerate(runtimes):
+                        handle_frame(trackers[i].frame(rt, epoch, barrier))
+
+            epochs = run_lockstep(runtimes, duration, on_epoch=on_epoch)
+            slices = [finalize() for finalize in finalizers]
+            workers = []
+            for i, telemetry in enumerate(teles):
+                worker: dict = {"partition": i, "status": "ok", "result": slices[i]}
+                worker["exported_packets"] = runtimes[i].exported_packets
+                worker["imported_packets"] = runtimes[i].imported_packets
+                worker["events"] = runtimes[i].sim.events_processed
                 if telemetry is not None:
-                    stack.enter_context(telemetry.activate())
-                if fault_slices is not None:
-                    stack.enter_context(
-                        activate_fault_plan(FaultPlan.from_dict(fault_slices[i]))
+                    telemetry.close()
+                    if telemetry.timewin is not None and timewin_dir is not None:
+                        path = os.path.join(
+                            timewin_dir, f"shard{i}.windows.jsonl"
+                        )
+                        os.makedirs(timewin_dir, exist_ok=True)
+                        telemetry.timewin.dump_jsonl(path)
+                        worker["timewin_path"] = path
+                        worker["timewin"] = telemetry.timewin.stats()
+                    if telemetry.flightrec is not None and flight_dir is not None:
+                        index = telemetry.flightrec.index
+                        worker["flight_path"] = os.path.join(
+                            flight_dir, f"shard{i}.flights.jsonl"
+                        )
+                        worker["flights"] = {
+                            "total": index.total,
+                            "delivered": index.delivered,
+                            "dropped": index.dropped,
+                            "unfinished": index.unfinished,
+                            "exported": index.exported,
+                        }
+                    if telemetry.auditor is not None:
+                        verdict = telemetry.auditor.report()
+                        worker["audit"] = {
+                            "events_seen": verdict["events_seen"],
+                            "violation_count": verdict["violation_count"],
+                            "violations": verdict["violations"][:20],
+                        }
+                    worker["metrics"] = telemetry.metrics.snapshot()
+                workers.append(worker)
+            report["epochs"] = epochs
+        else:
+            run = run_sharded(
+                BUILDER_TARGET,
+                config_kwargs,
+                shards,
+                duration,
+                plan.lookahead,
+                audit=audit,
+                timewin_dir=timewin_dir,
+                timewin_params=timewin_params,
+                fault_plans=fault_slices,
+                heartbeat=heartbeat,
+                flight_dir=flight_dir,
+                on_heartbeat=handle_frame,
+            )
+            workers = run.workers
+            for i, worker in enumerate(workers):
+                if timewin_dir is not None:
+                    worker.setdefault(
+                        "timewin_path",
+                        os.path.join(timewin_dir, f"shard{i}.windows.jsonl"),
                     )
-                runtime, finalize = build_fabric_partition(
-                    partition=i, shards=shards, **config_kwargs
-                )
-            runtimes.append(runtime)
-            finalizers.append(finalize)
-            teles.append(telemetry)
-        epochs = run_lockstep(runtimes, duration)
-        slices = [finalize() for finalize in finalizers]
-        workers = []
-        for i, telemetry in enumerate(teles):
-            worker: dict = {"partition": i, "status": "ok", "result": slices[i]}
-            worker["exported_packets"] = runtimes[i].exported_packets
-            worker["imported_packets"] = runtimes[i].imported_packets
-            if telemetry is not None:
-                telemetry.close()
-                if telemetry.timewin is not None and timewin_dir is not None:
-                    import os
-
-                    path = os.path.join(
-                        timewin_dir, f"shard{i}.windows.jsonl"
-                    )
-                    os.makedirs(timewin_dir, exist_ok=True)
-                    telemetry.timewin.dump_jsonl(path)
-                    worker["timewin_path"] = path
-                if telemetry.auditor is not None:
-                    verdict = telemetry.auditor.report()
-                    worker["audit"] = {
-                        "events_seen": verdict["events_seen"],
-                        "violation_count": verdict["violation_count"],
-                        "violations": verdict["violations"][:20],
-                    }
-            workers.append(worker)
-        report["epochs"] = epochs
-    else:
-        run = run_sharded(
-            BUILDER_TARGET,
-            config_kwargs,
-            shards,
-            duration,
-            plan.lookahead,
-            audit=audit,
-            timewin_dir=timewin_dir,
-            timewin_params=timewin_params,
-            fault_plans=fault_slices,
-        )
-        workers = run.workers
-        for i, worker in enumerate(workers):
-            if timewin_dir is not None:
-                import os
-
-                worker.setdefault(
-                    "timewin_path",
-                    os.path.join(timewin_dir, f"shard{i}.windows.jsonl"),
-                )
-        report["epochs"] = run.epochs
-        slices = run.results()
+            report["epochs"] = run.epochs
+            slices = run.results()
+    except BaseException:
+        if ledger is not None:
+            ledger.finalize(manifest, status="failed")
+        raise
 
     report["wall_s"] = time.perf_counter() - t0
     merged = merge_results(slices)
@@ -377,4 +504,73 @@ def run_share_fabric(
         report["timewin_paths"] = [
             w.get("timewin_path") for w in workers if w.get("timewin_path")
         ]
+    if flight_dir is not None:
+        report["flight_paths"] = [
+            w.get("flight_path") for w in workers if w.get("flight_path")
+        ]
+    if heartbeat:
+        report["heartbeat_frames"] = len(frames)
+
+    if ledger is not None:
+        from ..obs.metrics import merge_metrics_snapshots
+        from ..obs.timewin import stitch_window_dumps
+
+        artifacts: dict = {"report": "report.json"}
+        if health_sink is not None:
+            ledger.close_health()
+            artifacts["health"] = "health.jsonl"
+        snapshots = [w["metrics"] for w in workers if w.get("metrics")]
+        merged_metrics = merge_metrics_snapshots(snapshots)
+        ledger.write_json("metrics.json", merged_metrics)
+        artifacts["metrics"] = "metrics.json"
+        if report.get("timewin_paths"):
+            stitched = stitch_window_dumps(
+                report["timewin_paths"],
+                out_path=ledger.path("windows.stitched.jsonl"),
+            )
+            artifacts["windows"] = [
+                ledger.relpath(p) for p in report["timewin_paths"]
+            ]
+            artifacts["windows_stitched"] = "windows.stitched.jsonl"
+            report["timewin_merged_path"] = ledger.path("windows.stitched.jsonl")
+            report["timewin_ports"] = len(stitched.ports())
+        if report.get("flight_paths"):
+            from ..obs.flightrec import stitch_flight_dumps
+
+            stitched_flights = stitch_flight_dumps(
+                report["flight_paths"],
+                out_path=ledger.path("flights.stitched.jsonl"),
+            )
+            artifacts["flights"] = [
+                ledger.relpath(p) for p in report["flight_paths"]
+            ]
+            artifacts["flights_stitched"] = "flights.stitched.jsonl"
+            report["flights_stitched_path"] = ledger.path("flights.stitched.jsonl")
+            report["flights_stitched"] = len(stitched_flights)
+        ledger.write_json("report.json", report)
+        manifest["artifacts"] = artifacts
+        manifest["digests"] = {"fabric_digest": report["digest"]}
+        manifest["epochs"] = report["epochs"]
+        manifest["wall_s"] = report["wall_s"]
+        manifest["boundary"] = report["boundary"]
+        manifest["lookahead"] = report["lookahead"]
+        if audit:
+            manifest["audit"] = {
+                "violation_count": report["audit"]["violation_count"],
+                "events_seen": report["audit"]["events_seen"],
+            }
+        manifest["workers"] = [
+            {
+                key: worker.get(key)
+                for key in (
+                    "partition", "status", "wall_s", "events",
+                    "exported_packets", "imported_packets", "audit",
+                    "timewin", "flights",
+                )
+                if worker.get(key) is not None
+            }
+            for worker in workers
+        ]
+        manifest["heartbeat_frames"] = len(frames)
+        report["manifest_path"] = ledger.finalize(manifest)
     return report

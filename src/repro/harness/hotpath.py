@@ -329,6 +329,75 @@ def bench_shard_speedup(
     }
 
 
+def bench_fabric_obs_overhead(
+    shards: int = 2, duration: float = 2e-3, pods: int = 2,
+) -> Dict[str, float]:
+    """End-to-end cost of the fabric observability plane.
+
+    Runs ``share-fabric`` three ways through the same inline lockstep
+    driver — plane fully off, heartbeats only, and heartbeats plus the
+    default-on time-window recorder with a run ledger — and compares
+    wall clocks. ``overhead_ratio`` (full plane vs off) gates the <=5%
+    always-on budget recorded as ``target_ratio``; short runs are noisy,
+    so consumers treat the ratio as a trend line and hard-gate only the
+    structural facts: all three digests must match (the plane is
+    digest-neutral by construction) and heartbeat frames must cover
+    every (shard, epoch) pair.
+    """
+    import os
+    import tempfile
+
+    from .fabric import run_share_fabric
+
+    scale = {"pods": pods}
+    t0 = time.perf_counter()
+    base = run_share_fabric(shards, duration, inline=True, **scale)
+    base_wall = time.perf_counter() - t0
+
+    hb_frames = []
+    t0 = time.perf_counter()
+    hb = run_share_fabric(
+        shards, duration, inline=True, heartbeat=True,
+        on_heartbeat=hb_frames.append, **scale,
+    )
+    hb_wall = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        t0 = time.perf_counter()
+        full = run_share_fabric(
+            shards, duration, inline=True,
+            run_dir=os.path.join(tmp, "run"), **scale,
+        )
+        full_wall = time.perf_counter() - t0
+
+    digests = {base["digest"], hb["digest"], full["digest"]}
+    if len(digests) != 1:
+        raise AssertionError(
+            f"observability plane changed the digest: {sorted(digests)}"
+        )
+    expected_frames = shards * full["epochs"]
+    if full["heartbeat_frames"] != expected_frames:
+        raise AssertionError(
+            f"heartbeat coverage hole: {full['heartbeat_frames']} frames "
+            f"!= {shards} shards x {full['epochs']} epochs"
+        )
+    return {
+        "shards": float(shards),
+        "duration_s": duration,
+        "events": float(base["results"]["events"]),
+        "epochs": float(full["epochs"]),
+        "base_wall_s": base_wall,
+        "hb_wall_s": hb_wall,
+        "full_wall_s": full_wall,
+        "overhead_ratio": full_wall / base_wall if base_wall > 0 else 0.0,
+        "heartbeat_ratio": hb_wall / base_wall if base_wall > 0 else 0.0,
+        "target_ratio": 1.05,
+        "heartbeat_frames": float(full["heartbeat_frames"]),
+        "timewin_ports": float(full.get("timewin_ports", 0)),
+        "digest_match": 1.0,
+    }
+
+
 #: name -> zero-arg default-scale runner, the set recorded in BENCH_engine.json.
 ENGINE_BENCHES = {
     "timer_churn": bench_timer_churn,
@@ -338,6 +407,7 @@ ENGINE_BENCHES = {
     "timewin_overhead": bench_timewin_overhead,
     "fluid_speedup": bench_fluid_speedup,
     "shard_speedup": bench_shard_speedup,
+    "fabric_obs_overhead": bench_fabric_obs_overhead,
 }
 
 

@@ -455,6 +455,86 @@ def job_shard_equiv(
     }
 
 
+def job_fabric_obs_neutral(
+    shards: int, duration: float, **config_kwargs
+) -> dict:
+    """Assert the fabric observability plane is digest-neutral AND
+    journey-faithful for one ``share-fabric`` scenario.
+
+    Three inline runs: plane fully off at ``shards``, the full plane
+    (run ledger + heartbeats + default-on time windows + flight
+    recording) at ``shards``, and the full plane serial at 1 shard. All
+    three results digests must match, both audits must be clean, and the
+    stitched end-to-end flights of the sharded run must equal the serial
+    run's flights under :func:`repro.obs.flightrec.journey_key` — the
+    cross-cut stitching reproduces exactly what one process would have
+    recorded.
+    """
+    import tempfile
+
+    from ..obs.flightrec import journey_key, read_flights_jsonl
+    from .fabric import run_share_fabric
+
+    base = run_share_fabric(
+        shards, duration, inline=True, audit=True, **config_kwargs
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        import os
+
+        full = run_share_fabric(
+            shards, duration, inline=True, audit=True,
+            run_dir=os.path.join(tmp, "sharded"),
+            flight_dir=os.path.join(tmp, "sharded", "flights"),
+            **config_kwargs,
+        )
+        serial = run_share_fabric(
+            1, duration, inline=True, audit=True,
+            run_dir=os.path.join(tmp, "serial"),
+            flight_dir=os.path.join(tmp, "serial", "flights"),
+            **config_kwargs,
+        )
+        journeys = {}
+        for name, run in (("sharded", full), ("serial", serial)):
+            journeys[name] = sorted(
+                journey_key(f)
+                for f in read_flights_jsonl(run["flights_stitched_path"])
+            )
+    for name, run in (("base", base), ("full", full), ("serial", serial)):
+        if run["audit"]["violation_count"]:
+            raise AssertionError(
+                f"{name}: conservation audit failed: "
+                f"{run['audit']['per_partition']}"
+            )
+    digests = {run["digest"] for run in (base, full, serial)}
+    if len(digests) != 1:
+        raise AssertionError(
+            f"observability plane changed the digest: {sorted(digests)}"
+        )
+    if journeys["sharded"] != journeys["serial"]:
+        missing = set(journeys["serial"]) - set(journeys["sharded"])
+        extra = set(journeys["sharded"]) - set(journeys["serial"])
+        raise AssertionError(
+            f"stitched flights diverge from the serial run: "
+            f"{len(missing)} missing, {len(extra)} extra "
+            f"(e.g. {sorted(missing | extra)[:2]})"
+        )
+    return {
+        "shards": shards,
+        "digest": full["digest"],
+        "events": full["results"]["events"],
+        "epochs": full["epochs"],
+        "heartbeat_frames": full["heartbeat_frames"],
+        "timewin_ports": full["timewin_ports"],
+        "flights_stitched": full["flights_stitched"],
+        "flights_serial": serial["flights_stitched"],
+        "timing": {
+            "base_wall_s": base["wall_s"],
+            "full_wall_s": full["wall_s"],
+            "serial_wall_s": serial["wall_s"],
+        },
+    }
+
+
 def job_engine_bench(bench: str, **scale) -> dict:
     """One engine hot-path micro-benchmark; wall-clock fields go under
     ``"timing"`` so the sweep digest stays parallelism-independent."""
@@ -622,10 +702,16 @@ def default_jobs() -> List[JobSpec]:
         shards=2, duration=2e-3,
         fault_blackout=["agg0->core1", 0.4e-3, 1.2e-3],
     ))
+    # Observability plane: digest-neutral and journey-faithful
+    # (docs/OBSERVABILITY.md "Fabric run ledger").
+    specs.append(_spec(
+        "shard/obs/neutral-2", "job_fabric_obs_neutral",
+        shards=2, duration=2e-3, pods=2,
+    ))
 
     for bench in (
         "timer_churn", "fire_chain", "idle_link", "backlogged_link",
-        "timewin_overhead", "fluid_speedup",
+        "timewin_overhead", "fluid_speedup", "fabric_obs_overhead",
     ):
         specs.append(_spec(f"engine/{bench}", "job_engine_bench", bench=bench))
     # Spawns its own shard workers, so its sweep worker must not be

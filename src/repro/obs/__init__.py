@@ -39,10 +39,26 @@ from .flightrec import (
     FlightSink,
     HopRecord,
     JsonlFlightSink,
+    journey_key,
     read_flights_jsonl,
+    stitch_flight_dumps,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_metrics_snapshots,
+)
 from .profiler import SimProfiler
+from .runledger import (
+    RunLedger,
+    artifact_paths,
+    is_run_reference,
+    load_manifest,
+    read_health_jsonl,
+    resolve_inputs,
+)
 from .telemetry import Telemetry, get_active_telemetry
 from .timewin import (
     BuildReport,
@@ -52,6 +68,8 @@ from .timewin import (
     WindowView,
     build_from_trace,
     crosscheck_with_flights,
+    params_for_budget,
+    stitch_window_dumps,
 )
 from .tracebus import (
     JsonlSink,
@@ -91,12 +109,21 @@ __all__ = [
     "FlightSink",
     "HopRecord",
     "JsonlFlightSink",
+    "journey_key",
     "read_flights_jsonl",
+    "stitch_flight_dumps",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merge_metrics_snapshots",
     "SimProfiler",
+    "RunLedger",
+    "artifact_paths",
+    "is_run_reference",
+    "load_manifest",
+    "read_health_jsonl",
+    "resolve_inputs",
     "Telemetry",
     "get_active_telemetry",
     "BuildReport",
@@ -106,6 +133,8 @@ __all__ = [
     "WindowView",
     "build_from_trace",
     "crosscheck_with_flights",
+    "params_for_budget",
+    "stitch_window_dumps",
     "JsonlSink",
     "RingBufferSink",
     "SummarySink",

@@ -30,10 +30,12 @@ from __future__ import annotations
 
 import json
 from collections import Counter, deque
-from typing import IO, Deque, Dict, Iterator, List, Optional, Tuple, Union
+from typing import IO, Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
 
 _HOP_FIELDS = (
-    "kind",       # "queue" | "aq" | "drop"
+    "kind",       # "queue" | "aq" | "drop" | "cut"
     "node",       # component name
     "t_in",       # enqueue / decision time (s)
     "t_out",      # dequeue time for queue hops (s)
@@ -44,6 +46,7 @@ _HOP_FIELDS = (
     "limit",      # AQ limit in bytes (None when unlimited)
     "ecn",        # True when the AQ/queue marked CE on this hop
     "reason",     # drop cause label ("buffer", "red", "rate_limit", ...)
+    "corr",       # cross-shard correlation key for "cut" hops
 )
 
 
@@ -65,6 +68,7 @@ class HopRecord:
         limit: Optional[float] = None,
         ecn: Optional[bool] = None,
         reason: Optional[str] = None,
+        corr: Optional[str] = None,
     ) -> None:
         self.kind = kind
         self.node = node
@@ -77,6 +81,7 @@ class HopRecord:
         self.limit = limit
         self.ecn = ecn
         self.reason = reason
+        self.corr = corr
 
     def to_dict(self) -> dict:
         """Compact dict: ``None`` fields are omitted."""
@@ -143,6 +148,20 @@ class Flight:
     def path(self) -> Tuple[str, ...]:
         """The sequence of node names the packet visited."""
         return tuple(h.node for h in self.hops)
+
+    @property
+    def corr_in(self) -> Optional[str]:
+        """Correlation key this segment continues from, if it begins at a cut."""
+        if self.hops and self.hops[0].kind == "cut":
+            return self.hops[0].corr
+        return None
+
+    @property
+    def corr_out(self) -> Optional[str]:
+        """Correlation key this segment exported under, if it ends at a cut."""
+        if self.hops and self.hops[-1].kind == "cut":
+            return self.hops[-1].corr
+        return None
 
     @property
     def drop_hop(self) -> Optional[HopRecord]:
@@ -320,6 +339,7 @@ class FlightIndex(FlightSink):
         self.delivered = 0
         self.dropped = 0
         self.unfinished = 0
+        self.exported = 0
         self.paths_by_flow: Dict[int, Counter] = {}
         self._latency_sum_by_flow: Dict[int, float] = {}
         self._delivered_by_flow: Counter = Counter()
@@ -337,6 +357,10 @@ class FlightIndex(FlightSink):
             # Still in a queue at end of run: its hops count toward the
             # per-node waits below, but not toward delivery latency/paths.
             self.unfinished += 1
+        elif flight.status == "exported":
+            # Sealed at a shard cut: a partial segment awaiting stitching,
+            # not an end-to-end delivery.
+            self.exported += 1
         else:
             self.delivered += 1
             self._delivered_by_flow[flight.flow_id] += 1
@@ -432,6 +456,19 @@ class FlightRecorder:
     def start(self, packet, now: float) -> None:
         """Arm a packet with an empty flight header (called at injection)."""
         packet.flight = [HopRecord("host", packet.src, now)]
+        open_packets = self._open
+        open_packets.append(packet)
+        if len(open_packets) > 4096:
+            self._open = [p for p in open_packets if p.flight is not None]
+
+    def begin_segment(self, packet, now: float, node: str, corr: str) -> None:
+        """Re-arm a packet imported across a shard cut.
+
+        The opening hop carries the same correlation key the exporting
+        shard sealed its segment with, so :func:`stitch_flight_dumps` can
+        chain the two back into one end-to-end flight.
+        """
+        packet.flight = [HopRecord("cut", node, now, corr=corr)]
         open_packets = self._open
         open_packets.append(packet)
         if len(open_packets) > 4096:
@@ -570,3 +607,94 @@ def read_flights_jsonl(path: str) -> Iterator[Flight]:
                 # ``max_flights`` flights; not a flight itself.
                 continue
             yield Flight.from_dict(data)
+
+
+def journey_key(flight: Flight) -> tuple:
+    """Parallelism-invariant identity of an end-to-end flight.
+
+    Excludes ``packet_id`` (a per-process counter that differs between
+    inline and spawn runs) but pins everything the determinism contract
+    promises: identity, outcome, full path, and exact timing.
+    """
+    hop = flight.drop_hop
+    return (
+        flight.flow_id, flight.src, flight.dst, flight.kind, flight.size,
+        flight.status, flight.t_start, flight.t_end, flight.end_node,
+        flight.path, hop.reason if hop is not None else None,
+    )
+
+
+def stitch_flight_dumps(
+    paths: Sequence[str],
+    out_path: Optional[str] = None,
+) -> List[Flight]:
+    """Reassemble end-to-end flights from per-shard segment dumps.
+
+    Each shard seals a packet's flight when it exports it at a cut link
+    (status ``"exported"``, trailing ``"cut"`` hop carrying a correlation
+    key) and opens a fresh segment when it imports one (leading ``"cut"``
+    hop with the same key). This function chains segments key-to-key into
+    single flights whose path/latency/drop attribution match a serial
+    1-shard run exactly.
+
+    Segments whose export was never imported (the packet was still on the
+    wire at end of run) stay sealed at the cut — honestly reported as
+    ``"exported"`` rather than guessed at. Returns the stitched flights
+    sorted deterministically; with ``out_path`` they are also written as
+    a standard flights JSONL file.
+    """
+    if not paths:
+        raise ConfigurationError("stitch needs at least one flight dump")
+    heads: List[Flight] = []
+    continuations: Dict[str, Flight] = {}
+    for path in paths:
+        for flight in read_flights_jsonl(path):
+            key = flight.corr_in
+            if key is None:
+                heads.append(flight)
+            elif key in continuations:
+                raise ConfigurationError(
+                    f"flight dumps overlap: duplicate correlation key {key!r} "
+                    f"(is {path} listed twice?)"
+                )
+            else:
+                continuations[key] = flight
+    stitched: List[Flight] = []
+    for head in heads:
+        hops = list(head.hops)
+        tail = head
+        while tail.corr_out is not None:
+            nxt = continuations.pop(tail.corr_out, None)
+            if nxt is None:
+                # Exported but never imported (in flight at end of run, or
+                # the importing shard's dump is missing): terminal as-is.
+                break
+            hops.extend(nxt.hops)
+            tail = nxt
+        stitched.append(Flight(
+            packet_id=head.packet_id,
+            flow_id=head.flow_id,
+            src=head.src,
+            dst=head.dst,
+            kind=head.kind,
+            size=head.size,
+            status=tail.status,
+            t_start=head.t_start,
+            t_end=tail.t_end,
+            hops=hops,
+            end_node=tail.end_node,
+        ))
+    if continuations:
+        # Continuation segments whose head never appeared (e.g. a bounded
+        # ring evicted it). Keep them — dropping history silently would
+        # make the stitched dump lie about coverage.
+        stitched.extend(continuations.values())
+    stitched.sort(key=lambda f: (
+        f.t_start, f.flow_id, f.src, f.dst, f.t_end, f.status, f.packet_id,
+    ))
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            for flight in stitched:
+                fh.write(json.dumps(flight.to_dict(), separators=(",", ":")))
+                fh.write("\n")
+    return stitched

@@ -244,3 +244,69 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+def merge_metrics_snapshots(snapshots: List[dict]) -> dict:
+    """Union per-shard :meth:`MetricsRegistry.snapshot` dicts into one
+    fabric-wide snapshot.
+
+    Counters sum across shards; gauges sum too (every fabric gauge —
+    backlog bytes, retained windows — is an extensive quantity over
+    disjoint port sets, so the fabric-wide value is the sum of the
+    slices). Histogram summaries merge honestly: exact ``count`` /
+    ``min`` / ``max`` and the count-weighted ``mean`` survive, while
+    percentiles — not mergeable from summaries without the samples — are
+    **omitted** rather than fabricated. Same-name series with identical
+    labels collapse into one entry; output order is sorted by (name,
+    labels) so merges are deterministic.
+    """
+    counters: Dict[tuple, float] = {}
+    gauges: Dict[tuple, float] = {}
+    hists: Dict[tuple, dict] = {}
+
+    def key_of(entry: dict) -> tuple:
+        return (entry["name"], tuple(sorted(entry["labels"].items())))
+
+    for snap in snapshots:
+        for entry in snap.get("counters", []):
+            key = key_of(entry)
+            counters[key] = counters.get(key, 0.0) + entry["value"]
+        for entry in snap.get("gauges", []):
+            key = key_of(entry)
+            gauges[key] = gauges.get(key, 0.0) + entry["value"]
+        for entry in snap.get("histograms", []):
+            key = key_of(entry)
+            summary = entry["value"]
+            count = summary.get("count", 0)
+            merged = hists.get(key)
+            if merged is None:
+                hists[key] = merged = {"count": 0}
+            if count == 0:
+                continue
+            if merged["count"] == 0:
+                merged.update(
+                    count=count, min=summary["min"], max=summary["max"],
+                    mean=summary["mean"],
+                )
+            else:
+                total = merged["count"] + count
+                merged["mean"] = (
+                    merged["mean"] * merged["count"]
+                    + summary["mean"] * count
+                ) / total
+                merged["min"] = min(merged["min"], summary["min"])
+                merged["max"] = max(merged["max"], summary["max"])
+                merged["count"] = total
+
+    def entries(table) -> List[dict]:
+        return [
+            {"name": name, "labels": dict(labels), "value": value}
+            for (name, labels), value in sorted(table.items())
+        ]
+
+    return {
+        "counters": entries(counters),
+        "gauges": entries(gauges),
+        "histograms": entries(hists),
+        "merged_from": len(snapshots),
+    }

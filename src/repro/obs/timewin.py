@@ -62,6 +62,69 @@ DEFAULT_SLOTS_LOG2 = 6
 #: Pseudo-flow key used for collision-bucket contributions in reports.
 COLLIDED = "(collided)"
 
+#: Budget model: one slot is four parallel list entries (flow, tenant,
+#: bytes, pkts) at pointer width.
+SLOT_COST_BYTES = 32
+#: Budget model: per-window fixed overhead (object + list headers,
+#: scalar aggregates, tenant map).
+WINDOW_OVERHEAD_BYTES = 640
+#: Floors the budget solver will not shrink below: 4 retained windows
+#: of 4 flow slots still yield meaningful (if collision-heavy) answers.
+MIN_NUM_WINDOWS = 4
+MIN_SLOTS_LOG2 = 2
+#: Retention cap: beyond this the ring stops growing with the budget.
+MAX_NUM_WINDOWS = 4096
+
+
+def estimate_port_bytes(num_windows: int, slots_log2: int) -> int:
+    """Estimated per-port footprint of a recorder configuration.
+
+    ``num_windows`` sealed buffers plus the active window and the spare
+    recycled during flips — the documented ``(T + 1)`` windows model,
+    rounded up by one for the spare.
+    """
+    per_window = WINDOW_OVERHEAD_BYTES + (1 << slots_log2) * SLOT_COST_BYTES
+    return (num_windows + 2) * per_window
+
+
+def params_for_budget(
+    budget_bytes: int,
+    window_s: Optional[float] = None,
+) -> dict:
+    """Solve for recorder parameters under a per-port memory budget.
+
+    Spends the budget on history first: keeps the default slot count
+    (shrinking it only when even a minimal ring would not fit), then
+    retains as many windows as the budget covers, clamped to
+    [:data:`MIN_NUM_WINDOWS`, :data:`MAX_NUM_WINDOWS`]. Raises
+    :class:`ConfigurationError` when the budget cannot fit even the
+    minimal configuration — never silently under-delivers. Returns the
+    ``enable_time_windows`` keyword dict (``window_s``, ``num_windows``,
+    ``slots_log2``).
+    """
+    if budget_bytes <= 0:
+        raise ConfigurationError(
+            f"timewin budget must be positive, got {budget_bytes}"
+        )
+    slots_log2 = DEFAULT_SLOTS_LOG2
+    while (slots_log2 > MIN_SLOTS_LOG2
+           and estimate_port_bytes(MIN_NUM_WINDOWS, slots_log2) > budget_bytes):
+        slots_log2 -= 1
+    floor = estimate_port_bytes(MIN_NUM_WINDOWS, slots_log2)
+    if floor > budget_bytes:
+        raise ConfigurationError(
+            f"timewin budget {budget_bytes}B per port cannot fit even "
+            f"{MIN_NUM_WINDOWS} windows of {1 << slots_log2} slots "
+            f"({floor}B); raise --timewin-budget or disable with --no-timewin"
+        )
+    per_window = WINDOW_OVERHEAD_BYTES + (1 << slots_log2) * SLOT_COST_BYTES
+    num_windows = min(MAX_NUM_WINDOWS, budget_bytes // per_window - 2)
+    return {
+        "window_s": DEFAULT_WINDOW_S if window_s is None else window_s,
+        "num_windows": int(num_windows),
+        "slots_log2": slots_log2,
+    }
+
 
 class _Window:
     """One time window: fixed slot arrays plus scalar aggregates.
@@ -873,7 +936,18 @@ class WindowStore(WindowQueryAPI):
         self._meta: Dict[str, dict] = {}
 
     @classmethod
-    def from_jsonl(cls, path: str) -> "WindowStore":
+    def from_jsonl(
+        cls,
+        path: str,
+        strict: bool = True,
+        on_skip=None,
+    ) -> "WindowStore":
+        """Load a dump. ``strict=False`` adopts the
+        :func:`repro.obs.tracebus.read_jsonl` skip semantics: corrupt or
+        truncated lines are skipped (reported via ``on_skip(lineno, line,
+        exc)`` when given) instead of aborting the load — the recovery
+        path for dumps cut short by a killed shard worker.
+        """
         store = cls()
         with open(path, "r", encoding="utf-8") as fh:
             for lineno, line in enumerate(fh, start=1):
@@ -895,10 +969,13 @@ class WindowStore(WindowQueryAPI):
                         store._views.setdefault(view.port, []).append(view)
                     else:
                         raise KeyError(f"unknown record type {kind!r}")
-                except (KeyError, TypeError, ValueError) as exc:
-                    raise ConfigurationError(
-                        f"{path}:{lineno}: invalid window record: {exc}"
-                    ) from exc
+                except (KeyError, TypeError, ValueError, AttributeError) as exc:
+                    if strict:
+                        raise ConfigurationError(
+                            f"{path}:{lineno}: invalid window record: {exc}"
+                        ) from exc
+                    if on_skip is not None:
+                        on_skip(lineno, line, exc)
         for views in store._views.values():
             views.sort(key=lambda v: v.seq)
         return store
@@ -951,7 +1028,12 @@ class WindowStore(WindowQueryAPI):
         return written
 
 
-def stitch_window_dumps(paths, out_path: Optional[str] = None) -> WindowStore:
+def stitch_window_dumps(
+    paths,
+    out_path: Optional[str] = None,
+    strict: bool = True,
+    on_skip=None,
+) -> WindowStore:
     """Stitch per-shard window dumps into one fabric-wide store.
 
     Each shard of a partitioned run (:mod:`repro.sim.shard`) records only
@@ -965,14 +1047,16 @@ def stitch_window_dumps(paths, out_path: Optional[str] = None) -> WindowStore:
 
     All dumps must share ``window_s`` (the seq axis is only comparable on
     one quantum); overlapping port names mean the inputs were not shards
-    of one run — both raise :class:`ConfigurationError`. Passing
-    ``out_path`` also writes the merged store as one dump file.
+    of one run — both raise :class:`ConfigurationError` regardless of
+    ``strict``, which only governs per-line corruption (see
+    :meth:`WindowStore.from_jsonl`). Passing ``out_path`` also writes the
+    merged store as one dump file.
     """
     if not paths:
         raise ConfigurationError("stitch needs at least one window dump")
     merged: Optional[WindowStore] = None
     for path in paths:
-        store = WindowStore.from_jsonl(path)
+        store = WindowStore.from_jsonl(path, strict=strict, on_skip=on_skip)
         if merged is None:
             merged = store
             continue

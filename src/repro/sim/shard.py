@@ -91,6 +91,7 @@ from ..errors import ConfigurationError, ShardError
 from ..net.link import BoundaryLink
 from ..net.packet import Packet
 from ..obs.events import EV_DELIVER, EV_HOST_SEND
+from ..obs.flightrec import HopRecord
 
 #: Packet header fields serialized across a cut, in wire order. The
 #: transient fields (``enqueue_time``, ``flight``, ``flight_digest``,
@@ -263,11 +264,18 @@ class ShardRuntime:
             )
             fr = tele.flightrec
             if fr is not None and packet.flight is not None:
-                # A flight ends at the cut: partitions record their own
-                # hop segments, stitched post-hoc by link name if needed.
-                fr.complete(packet, now, "delivered", node=link.name)
+                # Seal this partition's segment at the cut. The trailing
+                # "cut" hop carries the correlation key — the same
+                # ``(link_id, departure_seq)`` pair already serialized in
+                # the boundary batch — so ``stitch_flight_dumps`` can
+                # chain it to the importing shard's segment.
+                corr = f"{link.link_id}:{link.exported - 1}"
+                packet.flight.append(
+                    HopRecord("cut", link.name, now, corr=corr)
+                )
+                fr.complete(packet, now, "exported", node=link.name)
 
-    def _inject(self, link_id: int, values: tuple) -> None:
+    def _inject(self, link_id: int, seq: int, values: tuple) -> None:
         """Arrival of an imported boundary packet (scheduled at a barrier)."""
         handler = self._imports.get(link_id)
         if handler is None:
@@ -285,6 +293,13 @@ class ShardRuntime:
                 EV_HOST_SEND, self.sim.now, node=self._import_names[link_id],
                 flow_id=packet.flow_id, size=packet.size,
             )
+            fr = tele.flightrec
+            if fr is not None:
+                # Open the continuation segment under the exporter's key.
+                fr.begin_segment(
+                    packet, self.sim.now, self._import_names[link_id],
+                    f"{link_id}:{seq}",
+                )
         handler(packet)
 
     # -- epoch stepping ------------------------------------------------------
@@ -313,14 +328,84 @@ class ShardRuntime:
         rows.sort(key=lambda row: (row[0], row[1], row[2]))
         sim = self.sim
         now = sim.now
-        for arrival_t, link_id, _seq, values in rows:
+        for arrival_t, link_id, seq, values in rows:
             if arrival_t <= now:
                 raise ShardError(
                     f"boundary packet arrival {arrival_t} not after barrier "
                     f"{now}: lookahead contract violated"
                 )
-            sim.schedule_at(arrival_t, self._inject, link_id, values)
+            sim.schedule_at(arrival_t, self._inject, link_id, seq, values)
         return len(rows)
+
+
+# -- live shard health ---------------------------------------------------------
+
+
+def _rss_kb() -> Optional[int]:
+    """Process memory high-water mark in KB (``ru_maxrss``; platform
+    units — KB on Linux), or ``None`` where ``resource`` is missing."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def partition_backlog_bytes(runtime: "ShardRuntime") -> int:
+    """Bytes sitting in this partition's switch-port queues right now."""
+    network = runtime.network
+    if network is None:
+        return 0
+    total = 0
+    for switch in getattr(network, "switches", {}).values():
+        for port in switch.ports.values():
+            total += port.queue.bytes_queued
+    return total
+
+
+class HeartbeatTracker:
+    """Builds the per-epoch health frames a shard streams while running.
+
+    One frame per (partition, epoch), emitted *after* the epoch's events
+    ran and *before* the barrier exchange — purely observational, so the
+    stream is digest-neutral by construction. Fields:
+
+    ``partition``, ``epoch``, ``watermark_s`` (the sim-time barrier this
+    shard just reached), ``wall_s`` (since the tracker started),
+    ``events`` (cumulative), ``events_per_s`` (over the last epoch),
+    ``backlog_events`` (pending event count), ``backlog_bytes`` (queued
+    bytes across switch ports), ``rss_kb`` (memory high-water), and
+    ``barrier_wait_s`` (cumulative time blocked on earlier barriers —
+    the straggler signal: small for the slowest shard, large for the
+    ones waiting on it).
+    """
+
+    def __init__(self, partition: int) -> None:
+        self.partition = partition
+        self._t0 = time.perf_counter()
+        self._last_wall = 0.0
+        self._last_events = 0
+        self.barrier_wait_s = 0.0
+
+    def frame(self, runtime: "ShardRuntime", epoch: int, barrier: float) -> dict:
+        wall = time.perf_counter() - self._t0
+        events = runtime.sim.events_processed
+        delta_wall = wall - self._last_wall
+        delta_events = events - self._last_events
+        self._last_wall = wall
+        self._last_events = events
+        return {
+            "partition": self.partition,
+            "epoch": epoch,
+            "watermark_s": barrier,
+            "wall_s": wall,
+            "events": events,
+            "events_per_s": (delta_events / delta_wall) if delta_wall > 0 else 0.0,
+            "backlog_events": runtime.sim.pending_events(),
+            "backlog_bytes": partition_backlog_bytes(runtime),
+            "rss_kb": _rss_kb(),
+            "barrier_wait_s": self.barrier_wait_s,
+        }
 
 
 # -- in-process driver ---------------------------------------------------------
@@ -330,12 +415,15 @@ def run_lockstep(
     runtimes: Sequence[ShardRuntime],
     duration: float,
     permute=None,
+    on_epoch: Optional[Callable[[int, float], None]] = None,
 ) -> int:
     """Drive every partition in this process through the epoch schedule.
 
     ``permute(order, epoch) -> order`` (optional) reorders the source-
     partition visitation per epoch — the determinism regression hook
-    simulating arbitrary worker completion order. Returns the number of
+    simulating arbitrary worker completion order. ``on_epoch(epoch,
+    barrier)`` (optional) fires after each barrier's batches are applied
+    — the inline driver's health-frame hook. Returns the number of
     epochs executed.
     """
     if not runtimes:
@@ -352,6 +440,8 @@ def run_lockstep(
         for j, rt in enumerate(runtimes):
             inbound = [outs[i][j] for i in order if len(outs[i][j])]
             rt.apply_inbound(inbound)
+        if on_epoch is not None:
+            on_epoch(epoch, barrier)
     return len(schedule)
 
 
@@ -367,11 +457,13 @@ def shard_worker_seed(seed_base: str, partition: int) -> int:
 def _shard_worker_main(payload: dict, conn) -> None:
     """Worker entry point: build one partition, lockstep over the pipe.
 
-    Protocol (worker side): per epoch send ``("out", epoch, [(dest,
-    batch), ...])`` and block for ``("in", epoch, [batches])``; after the
-    last barrier send ``("done", report)``. A failure at any point sends
-    ``("done", report)`` with ``status="failed"`` so the coordinator can
-    abort the round instead of deadlocking.
+    Protocol (worker side): per epoch optionally send ``("hb", epoch,
+    frame)`` (when the payload enables heartbeats), then send ``("out",
+    epoch, [(dest, batch), ...])`` and block for ``("in", epoch,
+    [batches])``; after the last barrier send ``("done", report)``. A
+    failure at any point sends ``("done", report)`` with
+    ``status="failed"`` so the coordinator can abort the round instead of
+    deadlocking.
     """
     import contextlib
     import random
@@ -389,7 +481,8 @@ def _shard_worker_main(payload: dict, conn) -> None:
         from ..harness.runner import resolve_target
 
         telemetry = None
-        if payload.get("audit") or payload.get("timewin_path"):
+        if (payload.get("audit") or payload.get("timewin_path")
+                or payload.get("flight_path")):
             from ..obs.telemetry import Telemetry
 
             telemetry = Telemetry(enabled=True)
@@ -397,6 +490,8 @@ def _shard_worker_main(payload: dict, conn) -> None:
                 telemetry.enable_audit()
             if payload.get("timewin_path"):
                 telemetry.enable_time_windows(**(payload.get("timewin") or {}))
+            if payload.get("flight_path"):
+                telemetry.enable_flight_recording(payload["flight_path"])
         builder = resolve_target(payload["builder"])
         partition = payload["partition"]
         with contextlib.ExitStack() as stack:
@@ -420,15 +515,24 @@ def _shard_worker_main(payload: dict, conn) -> None:
                     f"coordinator {payload['lookahead']}"
                 )
             t0 = time.perf_counter()
+            tracker = (
+                HeartbeatTracker(partition)
+                if payload.get("heartbeat") else None
+            )
             schedule = barrier_times(payload["duration"], payload["lookahead"])
             for epoch, barrier in enumerate(schedule):
                 out = runtime.run_epoch(barrier)
+                if tracker is not None:
+                    conn.send(("hb", epoch, tracker.frame(runtime, epoch, barrier)))
                 conn.send(("out", epoch, [
                     (dest, batch)
                     for dest, batch in enumerate(out)
                     if dest != partition and len(batch)
                 ]))
+                wait_t0 = time.perf_counter()
                 tag, got_epoch, inbound = conn.recv()
+                if tracker is not None:
+                    tracker.barrier_wait_s += time.perf_counter() - wait_t0
                 if tag != "in" or got_epoch != epoch:
                     raise ShardError(
                         f"worker {partition} desynchronized: expected in/"
@@ -451,6 +555,16 @@ def _shard_worker_main(payload: dict, conn) -> None:
             if telemetry.timewin is not None and payload.get("timewin_path"):
                 telemetry.timewin.dump_jsonl(payload["timewin_path"])
                 report["timewin"] = telemetry.timewin.stats()
+            if telemetry.flightrec is not None and payload.get("flight_path"):
+                index = telemetry.flightrec.index
+                report["flight_path"] = payload["flight_path"]
+                report["flights"] = {
+                    "total": index.total,
+                    "delivered": index.delivered,
+                    "dropped": index.dropped,
+                    "unfinished": index.unfinished,
+                    "exported": index.exported,
+                }
             if telemetry.auditor is not None:
                 verdict = telemetry.auditor.report()
                 report["audit"] = {
@@ -458,6 +572,7 @@ def _shard_worker_main(payload: dict, conn) -> None:
                     "violation_count": verdict["violation_count"],
                     "violations": verdict["violations"][:20],
                 }
+            report["metrics"] = telemetry.metrics.snapshot()
     except BaseException:
         report["error"] = traceback.format_exc(limit=20)
     try:
@@ -476,6 +591,9 @@ class ShardRunReport:
     #: Per-partition worker reports (``status``, ``result``, ``audit``,
     #: ``timewin``, ``exported_packets`` ...), in partition order.
     workers: List[dict] = field(default_factory=list)
+    #: Health frames streamed by workers, in arrival order (empty unless
+    #: ``heartbeat=True``).
+    heartbeats: List[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -497,6 +615,9 @@ def run_sharded(
     fault_plans: Optional[List[Optional[dict]]] = None,
     seed_base: str = "shard",
     timeout_s: float = 600.0,
+    heartbeat: bool = False,
+    flight_dir: Optional[str] = None,
+    on_heartbeat: Optional[Callable[[dict], None]] = None,
 ) -> ShardRunReport:
     """Run ``builder`` (a ``"module:function"`` worker target, same
     convention as :class:`~repro.harness.runner.JobSpec`) across
@@ -507,6 +628,12 @@ def run_sharded(
     by destination, and releases the next epoch only when all workers
     have reached the barrier. Ordering determinism lives entirely in
     :meth:`ShardRuntime.apply_inbound`.
+
+    ``heartbeat=True`` makes each worker stream one health frame per
+    epoch (see :class:`HeartbeatTracker`) interleaved with its batches;
+    frames are collected on the report and, when ``on_heartbeat`` is
+    given, forwarded live as they arrive. ``flight_dir`` enables per-
+    shard flight recording to ``shard{i}.flights.jsonl`` files.
     """
     import os
 
@@ -514,6 +641,8 @@ def run_sharded(
         raise ConfigurationError(f"shards must be >= 1, got {shards}")
     if timewin_dir is not None:
         os.makedirs(timewin_dir, exist_ok=True)
+    if flight_dir is not None:
+        os.makedirs(flight_dir, exist_ok=True)
     from ..harness.runner import spawn_safe_main
 
     ctx = multiprocessing.get_context("spawn")
@@ -539,6 +668,12 @@ def run_sharded(
                     if timewin_dir is not None
                     else None
                 ),
+                "flight_path": (
+                    os.path.join(flight_dir, f"shard{i}.flights.jsonl")
+                    if flight_dir is not None
+                    else None
+                ),
+                "heartbeat": heartbeat,
                 "faults": fault_plans[i] if fault_plans else None,
             }
             proc = ctx.Process(
@@ -550,6 +685,7 @@ def run_sharded(
             procs.append(proc)
 
     reports: List[Optional[dict]] = [None] * shards
+    heartbeats: List[dict] = []
     conn_index = {id(conn): i for i, conn in enumerate(conns)}
 
     def recv_from(pending: set, expect_tag: str, epoch: int) -> dict:
@@ -573,6 +709,13 @@ def run_sharded(
                         f"shard worker {i} died at epoch {epoch} "
                         f"(exit code {procs[i].exitcode})"
                     ) from None
+                if message[0] == "hb":
+                    # Health frame riding ahead of the worker's batches;
+                    # record it and keep the worker pending for its "out".
+                    heartbeats.append(message[2])
+                    if on_heartbeat is not None:
+                        on_heartbeat(message[2])
+                    continue
                 if message[0] == "done":
                     # A failed worker reports early instead of deadlocking
                     # the barrier; surface its traceback here.
@@ -655,4 +798,5 @@ def run_sharded(
         epochs=len(schedule),
         wall_s=time.perf_counter() - t0,
         workers=[r for r in reports if r is not None],
+        heartbeats=heartbeats,
     )
