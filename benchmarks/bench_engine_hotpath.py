@@ -16,6 +16,7 @@ from pathlib import Path
 from repro.harness.hotpath import (
     ENGINE_BENCHES,
     bench_backlogged_link,
+    bench_fabric_mixed,
     bench_fabric_obs_overhead,
     bench_fire_chain,
     bench_fluid_speedup,
@@ -120,6 +121,17 @@ def test_engine_fabric_obs_overhead(once):
     assert result["heartbeat_frames"] == result["shards"] * result["epochs"]
     assert result["timewin_ports"] > 0
     assert result["target_ratio"] == 1.05
+
+
+def test_engine_fabric_mixed(once):
+    result = _record("fabric_mixed", once(bench_fabric_mixed))
+    # The dynamic mixed workload (TCP + AQ tenants + churn) must digest
+    # identically serial vs sharded (the bench raises otherwise), with
+    # real boundary traffic and a non-trivial completed-flow population.
+    # Wall clocks are recorded as trend lines, not gated.
+    assert result["digest_match"] == 1.0
+    assert result["boundary_exported"] > 0
+    assert result["tcp_completed"] > 0
 
 
 def test_engine_write_baseline(once):

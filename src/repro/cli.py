@@ -404,6 +404,15 @@ def cmd_share_fabric(args) -> int:
     timewin_params = None
     if args.timewin_window_ms is not None:
         timewin_params = {"window_s": args.timewin_window_ms * 1e-3}
+    traffic_kwargs = {}
+    if args.traffic == "mixed":
+        traffic_kwargs = {
+            "load": args.load,
+            "churn": args.churn,
+            "num_tenants": args.tenants,
+            "cc": args.cc,
+            "udp_gbps": args.udp_gbps,
+        }
     try:
         report = run_share_fabric(
             args.shards,
@@ -424,6 +433,8 @@ def cmd_share_fabric(args) -> int:
             seed=args.seed,
             intra_gbps=args.intra_gbps,
             cross_gbps=args.cross_gbps,
+            traffic=args.traffic,
+            **traffic_kwargs,
         )
     except ReproError as exc:
         print(f"share-fabric failed: {exc}", file=sys.stderr)
@@ -440,10 +451,36 @@ def cmd_share_fabric(args) -> int:
         ]],
     ))
     delivered = sum(results["delivered_bytes"].values())
+    kind = "udp flows" if args.traffic == "mixed" else "flows"
     print(f"delivered: {delivered:,} bytes across "
-          f"{len(results['delivered_bytes'])} flows "
+          f"{len(results['delivered_bytes'])} {kind} "
           f"({report['mode']} mode)")
     print(f"results digest: {report['digest']}")
+    fct = report.get("fct")
+    if fct:
+        overall = fct["overall"]
+        slow = overall.get("slowdown") or {}
+        print(f"tcp: {overall['completed']}/{overall['flows']} flows "
+              f"completed, overall slowdown "
+              f"p50={slow.get('p50', float('nan')):.2f} "
+              f"p99={slow.get('p99', float('nan')):.2f}")
+        rows = []
+        for tenant, stats in sorted(fct["tenants"].items(), key=lambda kv: int(kv[0])):
+            tslow = stats.get("slowdown") or {}
+            rows.append([
+                tenant, f"{stats['completed']}/{stats['flows']}",
+                f"{tslow.get('p50', float('nan')):.2f}",
+                f"{tslow.get('p99', float('nan')):.2f}",
+                f"{stats['retransmissions']}",
+                f"{stats['goodput_bytes']:,}",
+            ])
+        print(render_table(
+            ["tenant", "done/flows", "sd p50", "sd p99", "rexmit", "goodput B"],
+            rows,
+        ))
+        jain = fct["fairness"]["jain_goodput"]
+        if jain is not None:
+            print(f"fairness (jain, goodput): {jain:.4f}")
 
     status = 0
     if args.shard_audit:
@@ -495,6 +532,16 @@ def _render_fabric_status(run_dir: str, manifest: dict) -> None:
           f"shards={manifest.get('shards', '?')} "
           f"mode={manifest.get('mode', '?')} "
           f"digest={digest}")
+    if manifest.get("status") == "failed":
+        error = manifest.get("error") or {}
+        if error:
+            print(f"error: {error.get('type', '?')}: "
+                  f"{error.get('message', '')}")
+        for worker in manifest.get("workers") or []:
+            if worker.get("status") == "failed":
+                lines = (worker.get("error") or "").strip().splitlines()
+                tail = lines[-1] if lines else "failed"
+                print(f"  partition {worker.get('partition', '?')}: {tail}")
 
     frames = read_health_jsonl(os.path.join(run_dir, "health.jsonl"))
     latest: dict = {}
@@ -1160,6 +1207,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-flow rate of intra-ToR flows (default 2)")
     p.add_argument("--cross-gbps", type=float, default=3.0,
                    help="per-flow rate of cross-pod flows (default 3)")
+    p.add_argument("--traffic", choices=("udp", "mixed"), default="udp",
+                   help="'udp' = the static CBR matrix; 'mixed' = TCP + "
+                        "AQ tenants with Poisson/web-search arrivals and "
+                        "a UDP aggressor (per-tenant FCT summaries land "
+                        "in the report and run ledger)")
+    p.add_argument("--churn", action="store_true",
+                   help="mixed traffic only: the last tenant leaves at "
+                        "40%% of the run and rejoins at 70%% (AQ grants "
+                        "withdrawn and rebalanced mid-run)")
+    p.add_argument("--load", type=float, default=0.25,
+                   help="mixed traffic only: offered TCP load as a "
+                        "fraction of each tenant's host capacity "
+                        "(default 0.25)")
+    p.add_argument("--tenants", type=int, default=3,
+                   help="mixed traffic only: tenant count; hosts round-"
+                        "robin across tenants (default 3)")
+    p.add_argument("--cc", default="dctcp",
+                   help="mixed traffic only: congestion control for the "
+                        "TCP flows (default dctcp)")
+    p.add_argument("--udp-gbps", type=float, default=4.0,
+                   help="mixed traffic only: the tenant-0 aggressor's "
+                        "per-host CBR rate (default 4)")
     p.add_argument("--inline", action="store_true",
                    help="drive every partition in this process (no "
                         "worker spawns; same digest)")

@@ -398,6 +398,55 @@ def bench_fabric_obs_overhead(
     }
 
 
+def bench_fabric_mixed(
+    shards: int = 2, duration: float = 2e-3, churn: bool = True,
+) -> Dict[str, float]:
+    """Throughput of the mixed TCP+AQ fabric workload, serial vs sharded.
+
+    Runs the dynamic mixed traffic model (TCP tenants behind AQ slices,
+    a UDP aggressor, Poisson/web-search arrivals, AQ churn) once at 1
+    shard and once at ``shards``, both through the inline lockstep
+    driver, and hard-gates the structural fact: the digests must match.
+    Wall clocks track how much the dynamic workload costs relative to
+    the static CBR matrix benches.
+    """
+    from .fabric import run_share_fabric
+
+    kwargs = {"traffic": "mixed", "churn": churn}
+    t0 = time.perf_counter()
+    serial = run_share_fabric(1, duration, inline=True, **kwargs)
+    serial_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = run_share_fabric(shards, duration, inline=True, **kwargs)
+    sharded_wall = time.perf_counter() - t0
+
+    if serial["digest"] != sharded["digest"]:
+        raise AssertionError(
+            f"mixed digest mismatch: shards=1 {serial['digest']} != "
+            f"shards={shards} {sharded['digest']}"
+        )
+    events = float(sharded["results"]["events"])
+    fct = sharded.get("fct") or {}
+    overall = fct.get("overall") or {}
+    return {
+        "shards": float(shards),
+        "duration_s": duration,
+        "events": events,
+        "epochs": float(sharded["epochs"]),
+        "serial_wall_s": serial_wall,
+        "sharded_wall_s": sharded_wall,
+        "events_per_sec_serial": events / serial_wall if serial_wall else 0.0,
+        "events_per_sec_sharded": (
+            events / sharded_wall if sharded_wall else 0.0
+        ),
+        "tcp_flows": float(overall.get("flows", 0)),
+        "tcp_completed": float(overall.get("completed", 0)),
+        "boundary_exported": float(sharded["boundary"]["exported"]),
+        "digest_match": 1.0,
+    }
+
+
 #: name -> zero-arg default-scale runner, the set recorded in BENCH_engine.json.
 ENGINE_BENCHES = {
     "timer_churn": bench_timer_churn,
@@ -408,6 +457,7 @@ ENGINE_BENCHES = {
     "fluid_speedup": bench_fluid_speedup,
     "shard_speedup": bench_shard_speedup,
     "fabric_obs_overhead": bench_fabric_obs_overhead,
+    "fabric_mixed": bench_fabric_mixed,
 }
 
 

@@ -535,6 +535,58 @@ def job_fabric_obs_neutral(
     }
 
 
+def job_fabric_mixed_equiv(
+    shard_counts: Sequence[int] = (1, 2),
+    duration: float = 2e-3,
+    churn: bool = False,
+    **config_kwargs,
+) -> dict:
+    """Assert mixed TCP+AQ fabric traffic digests identically across
+    every shard count in ``shard_counts``, audit-clean.
+
+    This is the determinism contract for the dynamic workload: TCP data
+    and ACK packets, AQ-limited tenants, Poisson/web-search arrivals,
+    and (with ``churn``) mid-run AQ withdraw/rebalance all cross shard
+    cuts through the boundary machinery without perturbing the results
+    digest. Also asserts the run actually completed TCP flows, so the
+    per-tenant FCT summary is non-trivial.
+    """
+    from .fabric import run_share_fabric
+
+    runs = {}
+    for k in shard_counts:
+        runs[k] = run_share_fabric(
+            k, duration, inline=True, audit=True,
+            traffic="mixed", churn=churn, **config_kwargs,
+        )
+        if runs[k]["audit"]["violation_count"]:
+            raise AssertionError(
+                f"shards={k}: conservation audit failed: "
+                f"{runs[k]['audit']['per_partition']}"
+            )
+    digests = {k: run["digest"] for k, run in runs.items()}
+    if len(set(digests.values())) != 1:
+        raise AssertionError(f"digest mismatch across shard counts: {digests}")
+    ref = runs[max(shard_counts)]
+    fct = ref.get("fct")
+    if not fct or not fct["overall"]["completed"]:
+        raise AssertionError("mixed run completed no TCP flows")
+    return {
+        "shard_counts": list(shard_counts),
+        "churn": churn,
+        "digest": ref["digest"],
+        "events": ref["results"]["events"],
+        "tcp_flows": fct["overall"]["flows"],
+        "tcp_completed": fct["overall"]["completed"],
+        "slowdown_p50": fct["overall"]["slowdown"]["p50"],
+        "slowdown_p99": fct["overall"]["slowdown"]["p99"],
+        "jain_goodput": fct["fairness"]["jain_goodput"],
+        "timing": {
+            f"wall_s_shards{k}": runs[k]["wall_s"] for k in shard_counts
+        },
+    }
+
+
 def job_engine_bench(bench: str, **scale) -> dict:
     """One engine hot-path micro-benchmark; wall-clock fields go under
     ``"timing"`` so the sweep digest stays parallelism-independent."""
@@ -708,10 +760,21 @@ def default_jobs() -> List[JobSpec]:
         "shard/obs/neutral-2", "job_fabric_obs_neutral",
         shards=2, duration=2e-3, pods=2,
     ))
+    # Mixed TCP+AQ traffic across shard cuts (docs/SCALING.md
+    # "Traffic model"): determinism must survive dynamic flows and churn.
+    specs.append(_spec(
+        "fabric/mixed/equiv-2", "job_fabric_mixed_equiv",
+        shard_counts=[1, 2], duration=2e-3,
+    ))
+    specs.append(_spec(
+        "fabric/mixed/churn-4", "job_fabric_mixed_equiv",
+        shard_counts=[1, 2, 4], duration=2e-3, churn=True,
+    ))
 
     for bench in (
         "timer_churn", "fire_chain", "idle_link", "backlogged_link",
         "timewin_overhead", "fluid_speedup", "fabric_obs_overhead",
+        "fabric_mixed",
     ):
         specs.append(_spec(f"engine/{bench}", "job_engine_bench", bench=bench))
     # Spawns its own shard workers, so its sweep worker must not be

@@ -110,7 +110,7 @@ class Flight:
 
     __slots__ = (
         "packet_id", "flow_id", "src", "dst", "kind", "size",
-        "status", "t_start", "t_end", "end_node", "hops",
+        "status", "t_start", "t_end", "end_node", "hops", "retransmission",
     )
 
     def __init__(
@@ -126,6 +126,7 @@ class Flight:
         t_end: float,
         hops: List[HopRecord],
         end_node: str = "",
+        retransmission: bool = False,
     ) -> None:
         self.packet_id = packet_id
         self.flow_id = flow_id
@@ -138,6 +139,7 @@ class Flight:
         self.t_end = t_end
         self.end_node = end_node
         self.hops = hops
+        self.retransmission = retransmission
 
     @property
     def latency(self) -> float:
@@ -201,7 +203,7 @@ class Flight:
         return f"{ident} dropped at {hop.node} ({detail}{extra})"
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "packet_id": self.packet_id,
             "flow_id": self.flow_id,
             "src": self.src,
@@ -214,6 +216,9 @@ class Flight:
             "end_node": self.end_node,
             "hops": [h.to_dict() for h in self.hops],
         }
+        if self.retransmission:
+            out["retransmission"] = True
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "Flight":
@@ -229,6 +234,7 @@ class Flight:
             t_end=data.get("t_end", 0.0),
             end_node=data.get("end_node", ""),
             hops=[HopRecord.from_dict(h) for h in data.get("hops", [])],
+            retransmission=bool(data.get("retransmission", False)),
         )
 
 
@@ -547,6 +553,7 @@ class FlightRecorder:
             t_end=now,
             hops=hops,
             end_node=node,
+            retransmission=bool(getattr(packet, "retransmission", False)),
         )
         self.flights_completed += 1
         for sink in self._sinks:
@@ -621,6 +628,7 @@ def journey_key(flight: Flight) -> tuple:
         flight.flow_id, flight.src, flight.dst, flight.kind, flight.size,
         flight.status, flight.t_start, flight.t_end, flight.end_node,
         flight.path, hop.reason if hop is not None else None,
+        flight.retransmission,
     )
 
 
@@ -683,6 +691,7 @@ def stitch_flight_dumps(
             t_end=tail.t_end,
             hops=hops,
             end_node=tail.end_node,
+            retransmission=head.retransmission,
         ))
     if continuations:
         # Continuation segments whose head never appeared (e.g. a bounded

@@ -688,6 +688,14 @@ def run_sharded(
     heartbeats: List[dict] = []
     conn_index = {id(conn): i for i, conn in enumerate(conns)}
 
+    def fail(message: str) -> None:
+        """Raise a :class:`ShardError` carrying the per-worker reports
+        gathered so far (including a failed worker's traceback), so the
+        run-ledger failure path can index them in the manifest."""
+        err = ShardError(message)
+        err.worker_reports = [r for r in reports if r is not None]
+        raise err
+
     def recv_from(pending: set, expect_tag: str, epoch: int) -> dict:
         """Collect one message per pending worker; returns index->payload."""
         gathered: Dict[int, list] = {}
@@ -696,7 +704,7 @@ def run_sharded(
                 [conns[i] for i in pending], timeout=timeout_s
             )
             if not ready:
-                raise ShardError(
+                fail(
                     f"shard barrier timed out after {timeout_s}s at epoch "
                     f"{epoch} waiting on partitions {sorted(pending)}"
                 )
@@ -705,10 +713,15 @@ def run_sharded(
                 try:
                     message = conn.recv()
                 except EOFError:
-                    raise ShardError(
+                    reports[i] = reports[i] or {
+                        "partition": i, "status": "failed",
+                        "error": f"worker process died "
+                                 f"(exit code {procs[i].exitcode})",
+                    }
+                    fail(
                         f"shard worker {i} died at epoch {epoch} "
                         f"(exit code {procs[i].exitcode})"
-                    ) from None
+                    )
                 if message[0] == "hb":
                     # Health frame riding ahead of the worker's batches;
                     # record it and keep the worker pending for its "out".
@@ -722,7 +735,7 @@ def run_sharded(
                     body = message[1]
                     reports[i] = body
                     if body.get("status") != "ok":
-                        raise ShardError(
+                        fail(
                             f"shard worker {i} failed:\n"
                             f"{body.get('error', '(no traceback)')}"
                         )
@@ -731,7 +744,7 @@ def run_sharded(
                     continue
                 tag, got, body = message
                 if tag != expect_tag or got != epoch:
-                    raise ShardError(
+                    fail(
                         f"worker {i} desynchronized: expected "
                         f"{expect_tag}/{epoch}, got {tag}/{got}"
                     )
@@ -758,7 +771,7 @@ def run_sharded(
                 [conns[i] for i in remaining], timeout=timeout_s
             )
             if not ready:
-                raise ShardError(
+                fail(
                     f"timed out waiting for final reports from "
                     f"{sorted(remaining)}"
                 )
@@ -767,12 +780,17 @@ def run_sharded(
                 try:
                     tag, body = conn.recv()
                 except EOFError:
-                    raise ShardError(
+                    reports[i] = {
+                        "partition": i, "status": "failed",
+                        "error": f"worker process died before reporting "
+                                 f"(exit code {procs[i].exitcode})",
+                    }
+                    fail(
                         f"shard worker {i} died before reporting "
                         f"(exit code {procs[i].exitcode})"
-                    ) from None
+                    )
                 if tag != "done":
-                    raise ShardError(
+                    fail(
                         f"worker {i} sent {tag!r} after the last barrier"
                     )
                 reports[i] = body
@@ -788,9 +806,9 @@ def run_sharded(
 
     for i, report in enumerate(reports):
         if report is None:
-            raise ShardError(f"shard worker {i} never reported")
+            fail(f"shard worker {i} never reported")
         if report.get("status") != "ok":
-            raise ShardError(
+            fail(
                 f"shard worker {i} failed:\n{report.get('error', '')}"
             )
     return ShardRunReport(

@@ -11,6 +11,7 @@ fabric.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -20,7 +21,14 @@ from .meters import percentile
 
 @dataclass(frozen=True)
 class FlowRecord:
-    """One completed flow."""
+    """One completed flow.
+
+    ``slowdown`` is ``inf`` when the ideal FCT is zero or negative (a
+    zero-size flow, or a collector configured without a meaningful
+    reference rate). Summaries must treat such records as unknown rather
+    than letting one ``inf`` poison a bin mean — see
+    :meth:`FctCollector.summary`.
+    """
 
     size_bytes: int
     fct: float
@@ -84,12 +92,17 @@ class FctCollector:
             previous = edge
         return f">{previous}B"
 
-    def slowdowns(self, bin_label: Optional[str] = None) -> List[float]:
-        return [
+    def slowdowns(
+        self, bin_label: Optional[str] = None, finite_only: bool = False
+    ) -> List[float]:
+        values = [
             r.slowdown
             for r in self.records
             if bin_label is None or self._bin_label(r.size_bytes) == bin_label
         ]
+        if finite_only:
+            values = [v for v in values if math.isfinite(v)]
+        return values
 
     def bins(self) -> List[str]:
         labels = []
@@ -103,20 +116,33 @@ class FctCollector:
     def summary(
         self, percentiles: Tuple[float, ...] = (50.0, 95.0, 99.0)
     ) -> Dict[str, Dict[str, float]]:
-        """Per-bin slowdown percentiles: ``{bin: {"p50": ..., "n": ...}}``."""
+        """Per-bin slowdown percentiles: ``{bin: {"p50": ..., "n": ...}}``.
+
+        Non-finite slowdowns (records with a zero ideal FCT) are excluded
+        from every percentile/mean and reported separately per bin as
+        ``n_nonfinite`` — one degenerate record must not turn a bin's
+        mean into ``inf``.
+        """
         out: Dict[str, Dict[str, float]] = {}
         for label in self.bins():
             values = self.slowdowns(label)
+            finite = [v for v in values if math.isfinite(v)]
             if not values:
                 continue
-            stats = {f"p{int(p)}": percentile(values, p) for p in percentiles}
-            stats["mean"] = sum(values) / len(values)
-            stats["n"] = float(len(values))
+            stats: Dict[str, float] = {}
+            if finite:
+                stats.update(
+                    {f"p{int(p)}": percentile(finite, p) for p in percentiles}
+                )
+                stats["mean"] = sum(finite) / len(finite)
+            stats["n"] = float(len(finite))
+            if len(finite) != len(values):
+                stats["n_nonfinite"] = float(len(values) - len(finite))
             out[label] = stats
         return out
 
     def overall_p99_slowdown(self) -> float:
-        values = self.slowdowns()
+        values = self.slowdowns(finite_only=True)
         if not values:
-            raise ConfigurationError("no flows recorded")
+            raise ConfigurationError("no flows with finite slowdowns recorded")
         return percentile(values, 99.0)

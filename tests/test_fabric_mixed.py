@@ -1,0 +1,305 @@
+"""Tests for the mixed-traffic sharded fabric (harness.fabric, traffic
+"mixed"): TCP tenants behind AQ slices, a UDP aggressor, open-loop
+web-search arrivals, and mid-run AQ churn — all crossing shard cuts.
+
+The load-bearing property is the same determinism contract as the static
+matrix (docs/SCALING.md): bit-identical ``fabric_digest`` at any shard
+count, audit-clean, now with dynamic flows whose data AND ack packets
+traverse the boundary machinery, TCP retransmissions across cut links
+under blackout, and AQ grants withdrawn/rebalanced mid-run. On top of
+that the observability plane must survive failure: a crashed partition
+leaves a ``status="failed"`` manifest with the traceback indexed, and
+``fabric-status --follow`` terminates once the manifest leaves
+``running``.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ShardError
+from repro.faults.plan import link_blackout_plan
+from repro.harness.fabric import (
+    fabric_config,
+    fabric_fct_summary,
+    fabric_mixed_spec,
+    run_share_fabric,
+)
+from repro.obs.flightrec import read_flights_jsonl
+from repro.obs.runledger import RunLedger, load_manifest
+
+#: 4 pods x 1 ToR x 2 hosts: big enough for 4 shards and 2 tenants with
+#: cross-pod members, small enough for tier-1 wall clocks.
+TOPO = dict(pods=4, tors_per_pod=1, hosts_per_tor=2, num_cores=2)
+MIXED = dict(TOPO, traffic="mixed", num_tenants=2, churn=True)
+DURATION = 1.5e-3
+
+
+@pytest.fixture(scope="module")
+def runs(tmp_path_factory):
+    """Mixed traffic with churn at 1, 2, and 4 shards; the 2-shard run
+    writes a full run ledger so the FCT summary's path into
+    ``metrics.json`` is covered too."""
+    tmp = tmp_path_factory.mktemp("mixedruns")
+    out = {}
+    for shards in (1, 2, 4):
+        kwargs = dict(MIXED)
+        if shards == 2:
+            kwargs["run_dir"] = str(tmp / "ledgered")
+        out[shards] = run_share_fabric(
+            shards, DURATION, inline=True, audit=True, **kwargs
+        )
+    return out
+
+
+class TestMixedSpec:
+    def test_spec_is_deterministic(self):
+        config = fabric_config(**TOPO)
+        a = fabric_mixed_spec(config, 1e-3, churn=True, num_tenants=2)
+        b = fabric_mixed_spec(config, 1e-3, churn=True, num_tenants=2)
+        assert a == b
+        assert a["tcp_flows"], "no TCP arrivals generated"
+        assert a["udp_flows"], "no UDP aggressor flows generated"
+
+    def test_flow_ids_dense_and_unique(self):
+        config = fabric_config(**TOPO)
+        spec = fabric_mixed_spec(config, 1e-3, num_tenants=2)
+        ids = [f["flow_id"] for f in spec["udp_flows"] + spec["tcp_flows"]]
+        assert ids == list(range(1, len(ids) + 1))
+
+    def test_churn_gap_has_no_leaver_arrivals(self):
+        config = fabric_config(**TOPO)
+        arrival_s = 2e-3
+        spec = fabric_mixed_spec(
+            config, arrival_s, churn=True, num_tenants=2
+        )
+        leaver = spec["num_tenants"] - 1
+        leave_t, rejoin_t = 0.4 * arrival_s, 0.7 * arrival_s
+        gap = [
+            f for f in spec["tcp_flows"]
+            if f["tenant"] == leaver
+            and leave_t <= f["start_time"] < rejoin_t
+        ]
+        assert gap == []
+        # The schedule withdraws exactly the leaver's slices, then
+        # redeploys the same ids, with survivor rates rebalanced.
+        withdraw, deploy = spec["churn"]
+        assert withdraw["time"] == pytest.approx(leave_t)
+        assert deploy["time"] == pytest.approx(rejoin_t)
+        assert withdraw["withdraw"] == deploy["deploy"]
+        leaver_ids = {
+            s["aq_id"] for s in spec["aq_slices"] if s["tenant"] == leaver
+        }
+        assert set(withdraw["withdraw"]) == leaver_ids
+        assert withdraw["rates"], "survivor slices must be rebalanced"
+
+    def test_every_tenant_gets_at_least_two_hosts(self):
+        config = fabric_config(pods=2, tors_per_pod=1, hosts_per_tor=1)
+        with pytest.raises(Exception):
+            fabric_mixed_spec(config, 1e-3, num_tenants=3)
+
+
+class TestMixedEquivalence:
+    def test_digest_identical_across_shard_counts(self, runs):
+        digests = {k: r["digest"] for k, r in runs.items()}
+        assert len(set(digests.values())) == 1, digests
+
+    def test_audit_clean_at_every_shard_count(self, runs):
+        for shards, run in runs.items():
+            assert run["audit"]["violation_count"] == 0, shards
+
+    def test_boundary_really_carries_tcp_and_acks(self, runs):
+        # Dynamic traffic must actually cross the cuts, not route around
+        # them — otherwise the digest equality above proves nothing.
+        assert runs[4]["boundary"]["exported"] > 0
+        assert runs[4]["results"]["tcp"], "no TCP flows in the results"
+        assert runs[4]["results"]["tcp_recv"]
+
+    def test_fct_summary_per_tenant(self, runs):
+        fct = runs[2]["fct"]
+        assert set(fct["tenants"]) == {"0", "1"}
+        overall = fct["overall"]
+        assert overall["completed"] > 0
+        assert overall["slowdown"]["p50"] >= 1.0
+        assert overall["slowdown"]["p99"] >= overall["slowdown"]["p50"]
+        assert 0.0 < fct["fairness"]["jain_goodput"] <= 1.0
+        for stats in fct["tenants"].values():
+            assert stats["flows"] >= stats["completed"]
+            assert stats["goodput_bytes"] > 0
+
+    def test_fct_summary_matches_recomputation(self, runs):
+        config = fabric_config(**TOPO)
+        assert runs[2]["fct"] == fabric_fct_summary(
+            runs[2]["results"], config
+        )
+
+    def test_aq_slices_saw_traffic_and_marked(self, runs):
+        aq = runs[2]["results"]["aq"]
+        assert sum(row[0] for row in aq.values()) > 0  # arrived packets
+        # dctcp policy behind an aggressor: some marking must happen.
+        assert sum(row[3] for row in aq.values()) > 0
+
+    def test_fct_lands_in_run_ledger_metrics(self, runs):
+        run_dir, manifest = load_manifest(runs[2]["run_dir"])
+        assert manifest["status"] == "complete"
+        with open(os.path.join(run_dir, "metrics.json")) as fh:
+            metrics = json.load(fh)
+        assert metrics["fct"] == runs[2]["fct"]
+
+
+class TestRetransmissionAcrossCut:
+    """Satellite: a TCP flow spanning a blacked-out cut link must
+    retransmit identically at 1 and 2 shards, audit-clean, with the
+    retransmissions attributed in the stitched flight records."""
+
+    @pytest.fixture(scope="class")
+    def blackout(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("blackout")
+        plan = link_blackout_plan("agg0->core0", 0.3e-3, 1.0e-3).to_dict()
+        # num_cores=1 forces every cross-pod packet through the cut.
+        kwargs = dict(
+            pods=2, tors_per_pod=1, hosts_per_tor=2, num_cores=1,
+            traffic="mixed", num_tenants=2, load=0.6,
+        )
+        out = {}
+        for shards in (1, 2):
+            out[shards] = run_share_fabric(
+                shards, 4e-3, inline=True, audit=True, fault_plan=plan,
+                run_dir=str(tmp / f"s{shards}"),
+                flight_dir=str(tmp / f"s{shards}" / "flights"),
+                **kwargs,
+            )
+        return out
+
+    def test_digest_and_audit_survive_blackout(self, blackout):
+        assert blackout[1]["digest"] == blackout[2]["digest"]
+        for run in blackout.values():
+            assert run["audit"]["violation_count"] == 0
+
+    def test_retransmissions_happened_and_merged(self, blackout):
+        tcp = blackout[2]["results"]["tcp"]
+        assert sum(row[4] for row in tcp.values()) > 0  # retransmissions
+        fct = blackout[2]["fct"]
+        assert sum(
+            t["retransmissions"] for t in fct["tenants"].values()
+        ) > 0
+
+    def test_stitched_flights_attribute_retransmissions(self, blackout):
+        for shards in (1, 2):
+            flights = list(read_flights_jsonl(
+                blackout[shards]["flights_stitched_path"]
+            ))
+            retransmitted = [f for f in flights if f.retransmission]
+            assert retransmitted, f"shards={shards}"
+            # At least one retransmitted data packet crossed the cut
+            # link itself (its hop chain includes the cut hop).
+            assert any(
+                any(h.node == "agg0->core0" for h in f.hops)
+                for f in retransmitted
+            ), f"shards={shards}"
+
+    def test_flight_roundtrip_preserves_retransmission_flag(self, blackout):
+        from repro.obs.flightrec import Flight
+
+        flights = list(read_flights_jsonl(
+            blackout[2]["flights_stitched_path"]
+        ))
+        sample = next(f for f in flights if f.retransmission)
+        assert Flight.from_dict(sample.to_dict()).retransmission is True
+        plain = next(f for f in flights if not f.retransmission)
+        assert "retransmission" not in plain.to_dict()
+
+
+class TestCrashDrill:
+    """Satellite: a partition dying mid-epoch must leave the run ledger
+    at ``status="failed"`` with the traceback indexed — never a manifest
+    stuck at ``running``."""
+
+    def test_inline_crash_finalizes_manifest_failed(self, tmp_path):
+        run_dir = str(tmp_path / "crash-inline")
+        with pytest.raises(RuntimeError, match="injected partition failure"):
+            run_share_fabric(
+                1, 1e-3, inline=True, run_dir=run_dir,
+                fail_at_s=0.5e-3, **TOPO,
+            )
+        _, manifest = load_manifest(run_dir)
+        assert manifest["status"] == "failed"
+        assert manifest["error"]["type"] == "RuntimeError"
+        assert "injected partition failure" in manifest["error"]["message"]
+        assert "injected partition failure" in manifest["error"]["traceback"]
+
+    def test_spawn_worker_failure_indexed_in_manifest(self, tmp_path):
+        run_dir = str(tmp_path / "crash-spawn")
+        with pytest.raises(ShardError, match="injected partition failure"):
+            run_share_fabric(
+                2, 1e-3, inline=False, run_dir=run_dir,
+                fail_at_s=0.5e-3, fail_partition=1, **TOPO,
+            )
+        _, manifest = load_manifest(run_dir)
+        assert manifest["status"] == "failed"
+        failed = [
+            w for w in manifest["workers"] if w["status"] == "failed"
+        ]
+        assert [w["partition"] for w in failed] == [1]
+        assert "injected partition failure" in failed[0]["error"]
+
+
+class TestFabricStatusFollow:
+    """Satellite: ``repro fabric-status --follow`` must exit 0 as soon
+    as the manifest leaves ``running`` — complete or failed — instead of
+    polling forever. All three tests are timeout-free."""
+
+    def _ledger(self, tmp_path, name) -> RunLedger:
+        ledger = RunLedger(str(tmp_path / name))
+        ledger.begin({"scenario": "share-fabric", "shards": 1,
+                      "mode": "inline"})
+        return ledger
+
+    def test_follow_exits_zero_on_completed_run(self, tmp_path):
+        ledger = self._ledger(tmp_path, "done")
+        ledger.finalize({"scenario": "share-fabric", "shards": 1,
+                         "mode": "inline"})
+        assert main(["fabric-status", ledger.run_dir, "--follow",
+                     "--interval", "0.01"]) == 0
+
+    def test_follow_exits_zero_and_renders_failure(self, tmp_path, capsys):
+        ledger = self._ledger(tmp_path, "failed")
+        ledger.finalize(
+            {
+                "scenario": "share-fabric", "shards": 2, "mode": "spawn",
+                "error": {"type": "ShardError",
+                          "message": "shard worker 1 failed"},
+                "workers": [
+                    {"partition": 0, "status": "ok"},
+                    {"partition": 1, "status": "failed",
+                     "error": "Traceback ...\nRuntimeError: boom"},
+                ],
+            },
+            status="failed",
+        )
+        assert main(["fabric-status", ledger.run_dir, "--follow",
+                     "--interval", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "[failed]" in out
+        assert "shard worker 1 failed" in out
+        assert "partition 1: RuntimeError: boom" in out
+
+    def test_follow_polls_until_manifest_flips(self, tmp_path):
+        ledger = self._ledger(tmp_path, "live")
+
+        def flip():
+            ledger.finalize({"scenario": "share-fabric", "shards": 1,
+                             "mode": "inline"})
+
+        timer = threading.Timer(0.05, flip)
+        timer.start()
+        try:
+            assert main(["fabric-status", ledger.run_dir, "--follow",
+                         "--interval", "0.01"]) == 0
+        finally:
+            timer.cancel()
+        _, manifest = load_manifest(ledger.run_dir)
+        assert manifest["status"] == "complete"

@@ -78,3 +78,59 @@ class TestCollector:
         collector.on_complete_hook(10_000)(FakeConn(), 1.0)
         assert len(collector) == 1
         assert collector.records[0].fct == 2e-3
+
+
+class TestNonFiniteSlowdowns:
+    """Regression: one record with a zero ideal FCT (slowdown = inf)
+    must not poison a bin's percentiles/mean — it is excluded and
+    reported as ``n_nonfinite`` instead."""
+
+    def _collector_with_inf(self):
+        collector = FctCollector(reference_rate_bps=gbps(1))
+        for fct_ms in (1, 2, 3):
+            collector.record(10_000, fct_ms * 1e-3)
+        # Bypass record()'s validation the way a degenerate merge would.
+        collector.records.append(
+            FlowRecord(size_bytes=10_000, fct=1e-3, ideal_fct=0.0)
+        )
+        return collector
+
+    def test_summary_excludes_nonfinite(self):
+        collector = self._collector_with_inf()
+        small_bin = collector.bins()[0]
+        stats = collector.summary()[small_bin]
+        assert stats["n"] == 3
+        assert stats["n_nonfinite"] == 1
+        for key in ("p50", "p99", "mean"):
+            assert stats[key] != float("inf"), key
+
+    def test_summary_omits_counter_when_all_finite(self):
+        collector = FctCollector(reference_rate_bps=gbps(1))
+        collector.record(10_000, 1e-3)
+        stats = collector.summary()[collector.bins()[0]]
+        assert "n_nonfinite" not in stats
+
+    def test_all_nonfinite_bin_keeps_counts_only(self):
+        collector = FctCollector(reference_rate_bps=gbps(1))
+        collector.records.append(
+            FlowRecord(size_bytes=10_000, fct=1e-3, ideal_fct=0.0)
+        )
+        stats = collector.summary()[collector.bins()[0]]
+        assert stats == {"n": 0.0, "n_nonfinite": 1.0}
+
+    def test_overall_p99_ignores_nonfinite(self):
+        collector = self._collector_with_inf()
+        assert collector.overall_p99_slowdown() != float("inf")
+
+    def test_overall_p99_raises_when_none_finite(self):
+        collector = FctCollector(reference_rate_bps=gbps(1))
+        collector.records.append(
+            FlowRecord(size_bytes=10_000, fct=1e-3, ideal_fct=0.0)
+        )
+        with pytest.raises(ConfigurationError, match="finite"):
+            collector.overall_p99_slowdown()
+
+    def test_slowdowns_finite_only_filter(self):
+        collector = self._collector_with_inf()
+        assert len(collector.slowdowns()) == 4
+        assert len(collector.slowdowns(finite_only=True)) == 3
